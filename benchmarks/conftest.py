@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+Each bench regenerates one of the paper's tables/figures through the full
+simulation stack and reports the wall time of doing so.  Experiments are
+deterministic, so a single round is measured; the regenerated table itself
+is attached to ``benchmark.extra_info`` for inspection in the JSON output.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run an experiment once under the benchmark timer; return its table."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+        benchmark.extra_info["rows"] = len(result.rows)
+        benchmark.extra_info["title"] = result.title
+        return result
+
+    return _run

@@ -1,0 +1,34 @@
+"""Ablation: ADR's asynchronous I/O window.
+
+The paper credits ADR with maintaining "an optimal number of active
+asynchronous disk I/O calls" to overlap retrieval with computation.  This
+bench sweeps the window: depth 1 still overlaps one read with compute;
+larger windows only help when per-chunk service times vary; the benefit
+saturates quickly — exactly why "an optimal number" is small.
+"""
+
+from repro.adr import ADRRuntime
+from repro.sim import Environment, homogeneous_cluster
+from repro.viz.profile import dataset_25gb
+
+
+def sweep_io_depth(depths=(1, 2, 4, 16), scale=0.02):
+    profile = dataset_25gb(scale=scale)
+    out = {}
+    for depth in depths:
+        env = Environment()
+        cluster = homogeneous_cluster(env, nodes=4)
+        nodes = [f"node{i}" for i in range(4)]
+        result = ADRRuntime(
+            cluster, nodes, profile, width=512, height=512, io_depth=depth
+        ).run()
+        out[depth] = result.makespan
+    return out
+
+
+def test_ablation_adr_io_depth(benchmark):
+    times = benchmark.pedantic(sweep_io_depth, rounds=1, iterations=1)
+    benchmark.extra_info["makespans"] = {str(k): round(v, 3) for k, v in times.items()}
+    # Deeper windows never hurt and saturate fast.
+    assert times[4] <= times[1] * 1.001
+    assert times[16] == times[4]

@@ -1,0 +1,56 @@
+"""Ablation: DD's co-located-copy tie-break.
+
+The paper: "In the event of a tie, any local colocated copies will be
+chosen" — the mechanism that lets DD implicitly avoid network traffic.
+This bench runs the same scenario with the tie-break on and off.
+"""
+
+from repro.core.policies import DemandDriven
+from repro.data import HostDisks, StorageMap
+from repro.experiments.common import run_datacutter
+from repro.sim import Environment, umd_testbed
+from repro.viz.profile import dataset_25gb
+
+
+def compare_tiebreak(scale=0.02):
+    profile = dataset_25gb(scale=scale)
+    out = {}
+    for prefer_local in (True, False):
+        env = Environment()
+        # Rogue-only: Fast Ethernet makes avoided transfers visible.
+        cluster = umd_testbed(
+            env, red_nodes=0, blue_nodes=0, rogue_nodes=4, deathstar=False
+        )
+        nodes = [f"rogue{i}" for i in range(4)]
+        storage = StorageMap.balanced(profile.files, [HostDisks(h, 2) for h in nodes])
+        [metrics] = run_datacutter(
+            cluster,
+            profile,
+            storage,
+            configuration="RE-Ra-M",
+            algorithm="active",
+            policy=lambda p=prefer_local: DemandDriven(prefer_local=p),
+            width=2048,
+            height=2048,
+            compute_hosts=nodes,
+        )
+        local_buffers = sum(
+            count
+            for (src, dst), count in metrics.streams["RE->Ra"].by_route.items()
+            if src == dst
+        )
+        out[prefer_local] = {
+            "makespan": metrics.makespan,
+            "local_buffers": local_buffers,
+        }
+    return out
+
+
+def test_ablation_local_tiebreak(benchmark):
+    result = benchmark.pedantic(compare_tiebreak, rounds=1, iterations=1)
+    benchmark.extra_info["with_tiebreak"] = result[True]
+    benchmark.extra_info["without_tiebreak"] = result[False]
+    # The tie-break keeps more buffers on the producing host...
+    assert result[True]["local_buffers"] > result[False]["local_buffers"]
+    # ...and never hurts the makespan.
+    assert result[True]["makespan"] <= result[False]["makespan"] * 1.02

@@ -1,0 +1,49 @@
+"""Ablation: the RateBased extension policy vs the paper's three.
+
+The paper's future work asks for "other dynamic strategies for buffer
+distribution".  RateBased adds an EWMA service-time estimate per copy set
+on top of DD's outstanding-count window.  The bench races all four policies
+on a heterogeneous loaded cluster.
+"""
+
+from repro.data import HostDisks, StorageMap
+from repro.experiments.common import run_datacutter
+from repro.sim import Environment, umd_testbed
+from repro.viz.profile import dataset_25gb
+
+
+def race_policies(scale=0.02):
+    profile = dataset_25gb(scale=scale)
+    out = {}
+    for policy in ("RR", "WRR", "DD", "RATE"):
+        env = Environment()
+        cluster = umd_testbed(
+            env, red_nodes=0, blue_nodes=4, rogue_nodes=4, deathstar=False
+        )
+        nodes = [f"rogue{i}" for i in range(4)] + [f"blue{i}" for i in range(4)]
+        cluster.set_background_load(8, hosts=nodes[:4])
+        storage = StorageMap.balanced(profile.files, [HostDisks(h, 2) for h in nodes])
+        [metrics] = run_datacutter(
+            cluster,
+            profile,
+            storage,
+            configuration="RE-Ra-M",
+            algorithm="active",
+            policy=policy,
+            width=2048,
+            height=2048,
+            compute_hosts=nodes,
+            merge_host="blue0",
+        )
+        out[policy] = metrics.makespan
+    return out
+
+
+def test_ablation_rate_policy(benchmark):
+    times = benchmark.pedantic(race_policies, rounds=1, iterations=1)
+    benchmark.extra_info["makespans"] = {k: round(v, 3) for k, v in times.items()}
+    # The adaptive policies beat the oblivious ones under load imbalance...
+    assert times["DD"] < times["RR"]
+    assert times["RATE"] < times["RR"]
+    # ...and the rate estimator is at least competitive with DD.
+    assert times["RATE"] <= times["DD"] * 1.10

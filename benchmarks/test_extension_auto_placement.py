@@ -1,0 +1,56 @@
+"""Bench: the automatic placement advisor vs a naive one-copy placement.
+
+The paper's authors chose copy counts by hand (e.g. seven raster copies on
+the 8-way node); `repro.planner.auto_place` derives them from the cost
+model and host inventory, and sheds copies that would not fit in RAM.
+"""
+
+from repro.data import HostDisks, StorageMap
+from repro.engines import SimulatedEngine
+from repro.planner import auto_place
+from repro.sim import Environment, umd_testbed
+from repro.viz import IsosurfaceApp
+from repro.viz.profile import dataset_25gb
+
+
+def compare(scale=0.05):
+    def build():
+        profile = dataset_25gb(scale=scale)
+        env = Environment()
+        cluster = umd_testbed(
+            env, red_nodes=0, blue_nodes=8, rogue_nodes=0, deathstar=False
+        )
+        names = [f"blue{i}" for i in range(8)]
+        storage = StorageMap.balanced(
+            profile.files, [HostDisks(h, 2) for h in names]
+        )
+        app = IsosurfaceApp(
+            profile, storage, width=2048, height=2048, algorithm="active"
+        )
+        return app, cluster, names
+
+    app, cluster, names = build()
+    naive = SimulatedEngine(
+        cluster,
+        app.graph("RE-Ra-M"),
+        app.placement("RE-Ra-M", compute_hosts=names),
+        policy="DD",
+    ).run().makespan
+
+    app, cluster, names = build()
+    advice = auto_place(app, "RE-Ra-M", cluster)
+    auto = SimulatedEngine(
+        cluster, app.graph("RE-Ra-M"), advice.placement, policy="DD"
+    ).run().makespan
+    return {"naive": naive, "auto": auto, "bottleneck": advice.bottleneck}
+
+
+def test_extension_auto_placement(benchmark):
+    result = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["makespans"] = {
+        "naive": round(result["naive"], 3),
+        "auto": round(result["auto"], 3),
+    }
+    assert result["bottleneck"] == "Ra"
+    # The advisor's per-core raster copies match or beat one-copy-per-host.
+    assert result["auto"] <= result["naive"] * 1.05

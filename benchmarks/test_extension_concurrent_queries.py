@@ -1,0 +1,20 @@
+"""Bench: concurrent-query throughput on a shared cluster."""
+
+from repro.experiments import concurrent_queries
+
+
+def test_extension_concurrent_queries(benchmark):
+    table = benchmark.pedantic(
+        concurrent_queries.run, kwargs={"levels": (1, 2, 4)},
+        rounds=1, iterations=1,
+    )
+    benchmark.extra_info["rows"] = [
+        {k: round(v, 3) if isinstance(v, float) else v for k, v in row.items()}
+        for row in table.rows
+    ]
+    one = table.value("throughput_qps", queries=1)
+    two = table.value("throughput_qps", queries=2)
+    assert two > one  # batching overlaps I/O, network and compute phases
+    lat1 = table.value("mean_latency", queries=1)
+    lat4 = table.value("mean_latency", queries=4)
+    assert lat4 < 4 * lat1  # work-conserving sharing, not serialisation

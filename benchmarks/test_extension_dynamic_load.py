@@ -1,0 +1,27 @@
+"""Bench: the time-varying-load extension experiment.
+
+Alternating quiet/overloaded phases on the Rogue nodes while timesteps
+render; adaptive policies must track the change (see
+repro/experiments/dynamic_load.py).
+"""
+
+from repro.experiments import dynamic_load
+from repro.experiments.common import mean
+
+
+def test_extension_dynamic_load(benchmark):
+    table = benchmark.pedantic(
+        dynamic_load.run,
+        kwargs={"timesteps": (0, 1, 2)},
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["title"] = table.title
+    avg = {
+        policy: mean(r["seconds"] for r in table.select(policy=policy))
+        for policy in ("RR", "DD", "RATE")
+    }
+    benchmark.extra_info["avg_seconds"] = {k: round(v, 3) for k, v in avg.items()}
+    # Count-based DD re-adapts fastest under oscillating load.
+    assert avg["DD"] < avg["RR"]
+    assert avg["DD"] <= avg["RATE"]

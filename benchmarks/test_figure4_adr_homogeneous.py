@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 4 (ADR vs DataCutter, homogeneous nodes)."""
+
+from repro.experiments import figure4
+
+
+def test_figure4_adr_homogeneous(regenerate):
+    table = regenerate(figure4.run, scale=0.02, timesteps=(0, 1))
+    ap = table.value("seconds", nodes=8, image=2048, system="DC Active Pixel")
+    adr = table.value("seconds", nodes=8, image=2048, system="ADR")
+    assert ap < adr  # the paper's 8-node/2048^2 crossover

@@ -1,0 +1,21 @@
+"""Bench: regenerate Figure 5 (background-load heterogeneity)."""
+
+from repro.experiments import figure5
+
+
+def test_figure5_adr_heterogeneous(regenerate):
+    table = regenerate(
+        figure5.run,
+        scale=0.02,
+        per_side_counts=(2, 4),
+        background_levels=(0, 4, 16),
+        image_sizes=(512, 2048),
+    )
+    norm = table.value(
+        "normalized",
+        **{"rogue+blue": "2+2"},
+        bg_jobs=16,
+        image=2048,
+        system="DC Active Pixel",
+    )
+    assert norm < 0.75  # DC stays stable while ADR degrades

@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 7 (skewed data distribution)."""
+
+from repro.experiments import figure7
+
+
+def test_figure7_skewed_data(regenerate):
+    table = regenerate(figure7.run, scale=0.02)
+    balanced = table.value("seconds", skew="0%", config="RERa-M", policy="DD")
+    skewed = table.value("seconds", skew="75%", config="RERa-M", policy="DD")
+    assert skewed > balanced  # the SPMD-like config pays for skew

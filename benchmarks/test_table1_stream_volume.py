@@ -1,0 +1,13 @@
+"""Bench: regenerate Table 1 (stream buffer counts and volumes)."""
+
+from repro.experiments import table1
+
+
+def test_table1_stream_volume(regenerate):
+    table = regenerate(table1.run, scale=0.1)
+    # Sanity: the z-buffer Ra->M volume is exactly W*H*8 bytes.
+    assert table.value("buffers", algorithm="zbuffer", stream="Ra->M") == 16
+    assert (
+        table.value("buffers", algorithm="active", stream="Ra->M")
+        > table.value("buffers", algorithm="zbuffer", stream="Ra->M")
+    )

@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 2 (per-filter processing time shares)."""
+
+from repro.experiments import table2
+
+
+def test_table2_filter_times(regenerate):
+    table = regenerate(table2.run, scale=0.1)
+    for algorithm in ("zbuffer", "active"):
+        ra = table.value("percent", algorithm=algorithm, filter="Ra")
+        assert ra > 40.0  # Raster dominates

@@ -1,0 +1,28 @@
+"""Bench: regenerate Table 3 (DD shifts buffers away from loaded nodes)."""
+
+from repro.experiments import table3
+
+
+def test_table3_dd_buffer_shift(regenerate):
+    table = regenerate(
+        table3.run,
+        scale=0.02,
+        per_side_counts=(2,),
+        background_levels=(0, 16),
+        image_sizes=(512, 2048),
+    )
+    unloaded = table.value(
+        "rogue_share",
+        **{"rogue+blue": "2+2"},
+        bg_jobs=0,
+        image=2048,
+        algorithm="DC A.Pixel",
+    )
+    loaded = table.value(
+        "rogue_share",
+        **{"rogue+blue": "2+2"},
+        bg_jobs=16,
+        image=2048,
+        algorithm="DC A.Pixel",
+    )
+    assert loaded < unloaded

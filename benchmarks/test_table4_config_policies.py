@@ -1,0 +1,21 @@
+"""Bench: regenerate Table 4 (configurations x policies under load)."""
+
+from repro.experiments import table4
+
+
+def test_table4_config_policies(regenerate):
+    table = regenerate(
+        table4.run,
+        scale=0.02,
+        background_levels=(0, 4, 16),
+        image_sizes=(512, 2048),
+    )
+    rr = table.value(
+        "seconds", bg_jobs=16, image=2048, config="R-ERa-M",
+        algorithm="active", policy="RR",
+    )
+    dd = table.value(
+        "seconds", bg_jobs=16, image=2048, config="R-ERa-M",
+        algorithm="active", policy="DD",
+    )
+    assert dd < rr  # DD absorbs the load imbalance

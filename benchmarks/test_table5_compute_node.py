@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 5 (8-way compute node over a slow link)."""
+
+from repro.experiments import table5
+
+
+def test_table5_compute_node(regenerate):
+    table = regenerate(table5.run, scale=0.02)
+    wrr = table.value("seconds", data_nodes=8, config="RE-Ra-M", policy="WRR")
+    rr = table.value("seconds", data_nodes=8, config="RE-Ra-M", policy="RR")
+    assert wrr <= rr

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Heterogeneous scheduling: transparent copies + DD vs a static SPMD runtime.
+
+Recreates the paper's core demonstration (Section 4.2) on the simulated UMD
+testbed: four Rogue + four Blue nodes render timesteps of the 25 GB dataset
+while the Rogue nodes carry a rising number of equal-priority background
+jobs.  Three systems run the same query:
+
+- ADR            - static partitioning, tuned SPMD (the baseline);
+- DC RR          - DataCutter pipeline, Round-Robin buffer routing;
+- DC DD          - DataCutter pipeline, Demand-Driven routing.
+
+Run:  python examples/heterogeneous_scheduling.py
+"""
+
+from repro.adr import ADRRuntime
+from repro.data import HostDisks, StorageMap
+from repro.experiments.common import run_datacutter
+from repro.sim import Environment, umd_testbed
+from repro.viz.profile import dataset_25gb
+
+ROGUE = [f"rogue{i}" for i in range(4)]
+BLUE = [f"blue{i}" for i in range(4)]
+
+
+def build_cluster(background_jobs: int):
+    env = Environment()
+    cluster = umd_testbed(
+        env, red_nodes=0, blue_nodes=4, rogue_nodes=4, deathstar=False
+    )
+    cluster.set_background_load(background_jobs, hosts=ROGUE)
+    return cluster
+
+
+def main() -> None:
+    profile = dataset_25gb(scale=0.02)
+    print(f"dataset: {profile.name}, "
+          f"{profile.bytes_per_timestep / 1e6:.0f} MB/timestep")
+    print(f"{'bg jobs':>8} {'ADR':>8} {'DC RR':>8} {'DC DD':>8}   (seconds)")
+    for jobs in (0, 1, 4, 16):
+        cluster = build_cluster(jobs)
+        adr = ADRRuntime(
+            cluster, ROGUE + BLUE, profile, width=2048, height=2048
+        ).run().makespan
+
+        times = {}
+        for policy in ("RR", "DD"):
+            cluster = build_cluster(jobs)
+            storage = StorageMap.balanced(
+                profile.files, [HostDisks(h, 2) for h in ROGUE + BLUE]
+            )
+            [metrics] = run_datacutter(
+                cluster,
+                profile,
+                storage,
+                configuration="RE-Ra-M",
+                algorithm="active",
+                policy=policy,
+                width=2048,
+                height=2048,
+                compute_hosts=ROGUE + BLUE,
+                merge_host=BLUE[0],
+            )
+            times[policy] = metrics.makespan
+        print(
+            f"{jobs:>8} {adr:>8.2f} {times['RR']:>8.2f} {times['DD']:>8.2f}"
+        )
+    print(
+        "\nADR degrades with load (static partitioning cannot offload the "
+        "loaded nodes);\nthe DataCutter pipeline stays nearly flat, and DD "
+        "routes buffers to whichever\ncopies are actually consuming them."
+    )
+
+
+if __name__ == "__main__":
+    main()

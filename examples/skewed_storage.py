@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Skewed storage: how filter decomposition interacts with data placement.
+
+Recreates the Figure 7 scenario: two Blue + two Rogue nodes hold the
+dataset; a growing fraction of the Blue files migrates to the Rogue nodes
+(space pressure, in the paper's motivation).  Three decompositions of the
+same application race under the Demand-Driven policy:
+
+- RERa-M  - everything combined: pure SPMD, the node with the most data
+            gates the run;
+- R-ERa-M - retrieval decoupled: slow-node data can be processed elsewhere;
+- RE-Ra-M - retrieval+extraction local, rasterisation free-floating: least
+            data on the wire, best overall.
+
+Run:  python examples/skewed_storage.py
+"""
+
+from repro.data import HostDisks, StorageMap
+from repro.experiments.common import run_datacutter
+from repro.sim import Environment, umd_testbed
+from repro.viz.profile import dataset_25gb
+
+BLUE = ["blue0", "blue1"]
+ROGUE = ["rogue0", "rogue1"]
+CONFIGS = ("RERa-M", "R-ERa-M", "RE-Ra-M")
+
+
+def main() -> None:
+    profile = dataset_25gb(scale=0.02)
+    print(f"dataset: {profile.name}")
+    header = " ".join(f"{c:>9}" for c in CONFIGS)
+    print(f"{'skew':>6} {header}   (seconds, DD policy)")
+    for skew in (0.0, 0.25, 0.5, 0.75):
+        times = []
+        for config in CONFIGS:
+            env = Environment()
+            cluster = umd_testbed(
+                env, red_nodes=0, blue_nodes=2, rogue_nodes=2, deathstar=False
+            )
+            storage = StorageMap.balanced(
+                profile.files, [HostDisks(h, 2) for h in BLUE + ROGUE]
+            )
+            if skew:
+                storage = storage.skew(
+                    BLUE, [HostDisks(h, 2) for h in ROGUE], skew
+                )
+            [metrics] = run_datacutter(
+                cluster,
+                profile,
+                storage,
+                configuration=config,
+                algorithm="active",
+                policy="DD",
+                width=2048,
+                height=2048,
+                compute_hosts=BLUE + ROGUE,
+                merge_host="blue0",
+            )
+            times.append(metrics.makespan)
+        row = " ".join(f"{t:>9.2f}" for t in times)
+        print(f"{int(skew * 100):>5}% {row}")
+    print(
+        "\nThe combined RERa-M configuration tracks the skew directly; the "
+        "decoupled\nconfigurations let data retrieved on overloaded disks be "
+        "processed elsewhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

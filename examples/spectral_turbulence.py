@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Second workload family: isosurfaces of a turbulence-like random field.
+
+The paper's plumes give compact, shell-shaped isosurfaces; this example
+renders the opposite extreme — a space-filling, wrinkled level set of a
+spectral Gaussian random field — through the same pipeline, and compares
+the two workloads' stream profiles (triangles per chunk are spread out
+instead of concentrated, which changes what the writer policies see).
+
+Run:  python examples/spectral_turbulence.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import HostDisks, ParSSimDataset, SpectralDataset, StorageMap
+from repro.engines import ThreadedEngine
+from repro.viz import IsosurfaceApp
+from repro.viz.profile import DatasetProfile
+
+GRID = 33
+SIZE = 192
+
+
+def render(dataset, isovalue, name):
+    profile = DatasetProfile.measured(
+        name, dataset, nchunks=27, nfiles=8, isovalue=isovalue
+    )
+    storage = StorageMap.balanced(profile.files, [HostDisks("host0")])
+    app = IsosurfaceApp(
+        profile, storage, width=SIZE, height=SIZE, algorithm="active",
+        dataset=dataset, isovalue=isovalue,
+    )
+    metrics = ThreadedEngine(
+        app.graph("RE-Ra-M"),
+        app.placement("RE-Ra-M", copies_per_host=2),
+        policy="DD",
+    ).run()
+    counts = profile.tri_counts[0]
+    spread = counts.std() / max(counts.mean(), 1)
+    return metrics, profile, spread
+
+
+def main() -> None:
+    out_dir = Path(__file__).resolve().parent
+    plume = ParSSimDataset((GRID, GRID, GRID), timesteps=1, seed=5)
+    turb = SpectralDataset((GRID, GRID, GRID), timesteps=1, seed=5)
+
+    for name, dataset, iso in (
+        ("plume", plume, 0.3),
+        ("turbulence", turb, 0.4),
+    ):
+        metrics, profile, spread = render(dataset, iso, name)
+        image = metrics.result.image
+        path = out_dir / f"{name}.ppm"
+        with open(path, "wb") as fh:
+            fh.write(f"P6 {SIZE} {SIZE} 255\n".encode())
+            fh.write(image.tobytes())
+        buffers, nbytes = metrics.stream_totals("RE->Ra")
+        occupancy = np.count_nonzero(image.any(axis=2)) / (SIZE * SIZE)
+        print(
+            f"{name:>10}: {profile.total_triangles(0):6d} triangles, "
+            f"per-chunk spread (std/mean) {spread:4.2f}, "
+            f"{buffers} RE->Ra buffers / {nbytes / 1e3:.0f} kB, "
+            f"{occupancy:5.1%} of frame lit -> {path.name}"
+        )
+    print(
+        "\nThe turbulence surface spreads triangles evenly over chunks "
+        "(low spread), while\nthe plume concentrates them on a shell "
+        "(high spread) — the skew the Demand-Driven\npolicy exists to "
+        "absorb."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,260 @@
+"""The Active Data Repository (ADR) baseline runtime (simulated).
+
+ADR (paper references [12, 15], Section 4.2) is an SPMD framework for
+generalized-reduction applications on homogeneous clusters:
+
+- the dataset is statically partitioned over the nodes;
+- each node overlaps asynchronous local disk I/O with computation, keeping
+  a bounded window of outstanding reads;
+- every node renders into a local z-buffer (the accumulator);
+- after a global barrier, partial z-buffers are combined with a partitioned
+  all-to-all reduction and gathered at node 0, which extracts the image.
+
+The strengths (tight I/O-compute overlap on dedicated homogeneous nodes)
+and the key weakness (no work can move between nodes, so the slowest node
+gates the run) both fall directly out of this structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.adr.partition import static_partition, weighted_static_partition
+from repro.data.chunks import ChunkSpec
+from repro.errors import ConfigurationError, StreamClosedError
+from repro.sim.cluster import Cluster
+from repro.sim.store import Store
+from repro.viz.models import CostParams
+from repro.viz.profile import DatasetProfile
+from repro.viz.raster import ZBUFFER_ENTRY_BYTES
+
+__all__ = ["ADRResult", "ADRRuntime"]
+
+
+@dataclass
+class ADRResult:
+    """Measurements from one ADR query execution."""
+
+    makespan: float
+    local_phase: float
+    merge_phase: float
+    node_finish: dict[str, float] = field(default_factory=dict)
+    chunks_per_node: dict[str, int] = field(default_factory=dict)
+    bytes_read: int = 0
+
+
+class ADRRuntime:
+    """Run one isosurface query (one timestep) ADR-style.
+
+    Parameters
+    ----------
+    cluster:
+        Finalized simulated cluster (shared with any background load).
+    nodes:
+        Host names participating in the query; the dataset is partitioned
+        over exactly these.
+    profile:
+        Dataset description (chunk layout + per-chunk triangle counts).
+    width / height:
+        Output image size.
+    costs:
+        The same calibrated constants the DataCutter models use, so ADR and
+        DataCutter runs are directly comparable.
+    timestep:
+        Which stored timestep to render.
+    io_depth:
+        Outstanding asynchronous disk reads per node (ADR is "tuned" — it
+        keeps the disk busy while computing).
+    partition_weights:
+        Optional per-node weights for a *weighted* static partition — a
+        repair for known, static heterogeneity (faster nodes get more
+        chunks).  Still a compile-time decision; see
+        :func:`repro.adr.partition.weighted_static_partition`.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        nodes: list[str],
+        profile: DatasetProfile,
+        width: int = 2048,
+        height: int = 2048,
+        costs: CostParams | None = None,
+        timestep: int = 0,
+        io_depth: int = 4,
+        partition_weights: list[float] | None = None,
+    ):
+        if not nodes:
+            raise ConfigurationError("ADR needs at least one node")
+        for node in nodes:
+            host = cluster.host(node)
+            if not host.disks:
+                raise ConfigurationError(f"ADR node {node!r} has no disks")
+        if io_depth < 1:
+            raise ConfigurationError(f"io_depth must be >= 1, got {io_depth}")
+        if not 0 <= timestep < profile.timesteps:
+            raise ConfigurationError(
+                f"timestep {timestep} outside [0, {profile.timesteps})"
+            )
+        self.cluster = cluster
+        self.env = cluster.env
+        self.nodes = list(nodes)
+        self.profile = profile
+        self.width = width
+        self.height = height
+        self.costs = costs or CostParams()
+        self.timestep = timestep
+        self.io_depth = io_depth
+        if partition_weights is not None and len(partition_weights) != len(nodes):
+            raise ConfigurationError("need one partition weight per node")
+        self.partition_weights = partition_weights
+
+    # -- cost arithmetic -----------------------------------------------------
+    def _chunk_compute(self, chunk: ChunkSpec) -> float:
+        tris = self.profile.triangles(self.timestep, chunk.chunk_id)
+        frag = self.costs.fragments_per_triangle(self.width, self.height)
+        return (
+            chunk.nbytes * self.costs.read_per_byte
+            + chunk.points * self.costs.extract_per_voxel
+            + tris * self.costs.extract_per_triangle
+            + tris * self.costs.raster_per_triangle
+            + tris * frag * self.costs.raster_per_fragment
+        )
+
+    @property
+    def _zb_bytes(self) -> int:
+        return self.width * self.height * ZBUFFER_ENTRY_BYTES
+
+    # -- execution ---------------------------------------------------------
+    def run(self) -> ADRResult:
+        """Execute one query; returns phase timings."""
+        env = self.env
+        start = env.now
+        if self.partition_weights is not None:
+            assignment = weighted_static_partition(
+                self.profile.chunks, self.nodes, self.partition_weights
+            )
+        else:
+            assignment = static_partition(self.profile.chunks, self.nodes)
+        result = ADRResult(0.0, 0.0, 0.0)
+        result.chunks_per_node = {n: len(assignment[n]) for n in self.nodes}
+
+        local_procs = []
+        for node in self.nodes:
+            local_procs.append(
+                env.process(
+                    self._node_local_phase(node, assignment[node], result),
+                    name=f"adr-local@{node}",
+                )
+            )
+        barrier = env.all_of(local_procs)
+
+        def query():
+            yield barrier
+            local_done = env.now
+            result.local_phase = local_done - start
+            yield from self._reduce_zbuffers()
+            result.merge_phase = env.now - local_done
+
+        done = env.process(query(), name="adr-query")
+        env.run(until=done)
+        result.makespan = env.now - start
+        return result
+
+    def _node_local_phase(self, node: str, chunks: list[ChunkSpec], result: ADRResult):
+        """Overlapped I/O + compute over this node's static partition.
+
+        One reader keeps ``io_depth`` asynchronous reads outstanding; one
+        compute worker per core drains the ready queue (ADR is "highly
+        parallel" — a 2-way node renders two chunks at once).
+        """
+        host = self.cluster.host(node)
+        env = self.env
+        ready: Store = Store(env, capacity=self.io_depth, name=f"adr-io@{node}")
+
+        def reader():
+            ndisks = len(host.disks)
+            for i, chunk in enumerate(chunks):
+                yield host.read_disk(
+                    chunk.nbytes, disk_index=i % ndisks, sequential=i >= ndisks
+                )
+                result.bytes_read += chunk.nbytes
+                yield ready.put(chunk)
+            ready.close()
+
+        env.process(reader(), name=f"adr-read@{node}")
+
+        def worker():
+            while True:
+                try:
+                    chunk = yield ready.get()
+                except StreamClosedError:
+                    return
+                yield host.compute(self._chunk_compute(chunk))
+
+        workers = [
+            env.process(worker(), name=f"adr-compute@{node}#{i}")
+            for i in range(host.cores)
+        ]
+        yield env.all_of(workers)
+        result.node_finish[node] = env.now
+
+    def _reduce_zbuffers(self):
+        """Partitioned all-to-all z-buffer reduction, then gather to node 0.
+
+        ADR is tuned for exactly this operation: the image space is divided
+        into one partition per node; every node ships each foreign partition
+        of its local z-buffer to that partition's owner (all transfers
+        concurrent), owners depth-merge what they receive, and the merged
+        partitions are gathered at the first node, which extracts the final
+        image.  A single-node run skips the network entirely.
+        """
+        env = self.env
+        names = self.nodes
+        n = len(names)
+        entries = self.width * self.height
+        part_bytes = self._zb_bytes // n
+        part_entries = entries // n
+        if n > 1:
+            # Scatter/merge: each node processes its partition.
+            workers = [
+                env.process(
+                    self._partition_owner(i, part_bytes, part_entries),
+                    name=f"adr-owner@{names[i]}",
+                )
+                for i in range(n)
+            ]
+            yield env.all_of(workers)
+            # Gather merged partitions (RGB image slices) at the root.
+            root = names[0]
+            gathers = [
+                env.process(
+                    self._gather(names[i], root, part_bytes),
+                    name=f"adr-gather@{names[i]}",
+                )
+                for i in range(1, n)
+            ]
+            yield env.all_of(gathers)
+        # Root extracts the final image from the composited buffer.
+        yield self.cluster.host(names[0]).compute(
+            entries * self.costs.merge_zb_per_entry * 0.25
+        )
+
+    def _partition_owner(self, owner_idx: int, part_bytes: int, part_entries: int):
+        """Receive every other node's slice of this partition and merge it."""
+        env = self.env
+        names = self.nodes
+        owner = names[owner_idx]
+        receives = [
+            self.cluster.transfer(src, owner, part_bytes)
+            for src in names
+            if src != owner
+        ]
+        yield env.all_of(receives)
+        merge_work = part_entries * (len(names) - 1) * self.costs.merge_zb_per_entry
+        yield self.cluster.host(owner).compute(merge_work)
+
+    def _gather(self, src: str, root: str, part_bytes: int):
+        if src == root:
+            return
+        yield self.cluster.transfer(src, root, part_bytes)

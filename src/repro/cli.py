@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro.cli experiments [NAME ...] [--scale S]
+        Regenerate the paper's tables/figures (default: all).
+
+    python -m repro.cli render [--grid N] [--image W] [--config C]
+                               [--algorithm A] [--copies K] [--policy P]
+                               [--out FILE.ppm]
+        Render a real isosurface through the threaded pipeline and write a
+        PPM image.
+
+    python -m repro.cli simulate [--dataset {1.5gb,25gb}] [--scale S]
+                                 [--rogue N] [--blue N] [--bg-jobs J]
+                                 [--config C] [--policy P] [--image W]
+        Run one scheduling scenario on the simulated UMD testbed and print
+        the makespan and stream statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main"]
+
+_EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "figure4",
+    "figure5",
+    "figure7",
+    "dynamic_load",
+    "concurrent_queries",
+    "validation",
+    "figure2a",
+)
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    import importlib
+
+    extensions = ("dynamic_load", "concurrent_queries", "validation", "figure2a")
+    names = args.names or [n for n in _EXPERIMENTS if n not in extensions]
+    for name in names:
+        if name not in _EXPERIMENTS:
+            print(
+                f"unknown experiment {name!r}; choose from "
+                f"{', '.join(_EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 2
+        module = importlib.import_module(f"repro.experiments.{name}")
+        kwargs = {}
+        if args.scale is not None and name not in ("validation", "figure2a"):
+            kwargs["scale"] = args.scale
+        print(module.run(**kwargs).format())
+        print()
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from repro.data import HostDisks, ParSSimDataset, StorageMap
+    from repro.engines import ThreadedEngine
+    from repro.viz import IsosurfaceApp
+    from repro.viz.profile import DatasetProfile
+
+    dataset = ParSSimDataset(
+        (args.grid, args.grid, args.grid), timesteps=max(args.timestep + 1, 1),
+        seed=args.seed,
+    )
+    profile = DatasetProfile.measured(
+        "cli", dataset, nchunks=args.chunks, nfiles=args.files,
+        isovalue=args.isovalue,
+    )
+    storage = StorageMap.balanced(profile.files, [HostDisks("host0")])
+    app = IsosurfaceApp(
+        profile,
+        storage,
+        width=args.image,
+        height=args.image,
+        algorithm=args.algorithm,
+        dataset=dataset,
+        isovalue=args.isovalue,
+        timestep=args.timestep,
+    )
+    graph = app.graph(args.config)
+    placement = app.placement(args.config, copies_per_host=args.copies)
+    metrics = ThreadedEngine(graph, placement, policy=args.policy).run()
+    result = metrics.result
+    with open(args.out, "wb") as fh:
+        fh.write(f"P6 {args.image} {args.image} 255\n".encode())
+        fh.write(result.image.tobytes())
+    print(
+        f"rendered {profile.total_triangles(args.timestep)} triangles, "
+        f"{result.active_pixels} active pixels -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.data import HostDisks, StorageMap
+    from repro.engines import SimulatedEngine
+    from repro.sim import Environment, umd_testbed
+    from repro.viz import IsosurfaceApp
+    from repro.viz.profile import dataset_1p5gb, dataset_25gb
+
+    profile = (
+        dataset_25gb(scale=args.scale)
+        if args.dataset == "25gb"
+        else dataset_1p5gb(scale=args.scale)
+    )
+    env = Environment()
+    cluster = umd_testbed(
+        env, red_nodes=0, blue_nodes=args.blue, rogue_nodes=args.rogue,
+        deathstar=False,
+    )
+    rogue = [f"rogue{i}" for i in range(args.rogue)]
+    blue = [f"blue{i}" for i in range(args.blue)]
+    if args.bg_jobs:
+        cluster.set_background_load(args.bg_jobs, hosts=rogue)
+    nodes = rogue + blue
+    storage = StorageMap.balanced(profile.files, [HostDisks(h, 2) for h in nodes])
+    app = IsosurfaceApp(
+        profile, storage, width=args.image, height=args.image,
+        algorithm=args.algorithm,
+    )
+    tracer = None
+    if args.trace:
+        from repro.engines.trace import Tracer
+
+        tracer = Tracer()
+    if args.auto_place:
+        from repro.planner import auto_place
+
+        advice = auto_place(app, args.config, cluster, compute_hosts=nodes)
+        placement = advice.placement
+        print(f"auto-place: bottleneck {advice.bottleneck}, "
+              f"merge on {advice.merge_host}")
+        for note in advice.notes:
+            print(f"auto-place: {note}")
+    else:
+        placement = app.placement(args.config, compute_hosts=nodes)
+    metrics = SimulatedEngine(
+        cluster,
+        app.graph(args.config),
+        placement,
+        policy=args.policy,
+        tracer=tracer,
+    ).run()
+    print(f"dataset   : {profile.name}")
+    print(f"makespan  : {metrics.makespan:.3f} s")
+    for stream, stats in sorted(metrics.streams.items()):
+        print(
+            f"stream {stream:>10}: {stats.buffers:6d} buffers "
+            f"{stats.bytes / 1e6:9.2f} MB"
+        )
+    if metrics.ack_messages:
+        print(f"acks      : {metrics.ack_messages}")
+    if tracer is not None:
+        print()
+        print(tracer.timeline())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DataCutter transparent-copies reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="regenerate tables/figures")
+    p_exp.add_argument("names", nargs="*", help=f"subset of: {', '.join(_EXPERIMENTS)}")
+    p_exp.add_argument("--scale", type=float, default=None, help="dataset scale")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_render = sub.add_parser("render", help="render a real isosurface")
+    p_render.add_argument("--grid", type=int, default=33, help="grid points per axis")
+    p_render.add_argument("--image", type=int, default=256, help="image size (pixels)")
+    p_render.add_argument("--config", default="RE-Ra-M",
+                          choices=["R-E-Ra-M", "RE-Ra-M", "R-ERa-M", "RERa-M"])
+    p_render.add_argument("--algorithm", default="active",
+                          choices=["active", "zbuffer"])
+    p_render.add_argument("--policy", default="DD",
+                          choices=["RR", "WRR", "DD", "RATE"])
+    p_render.add_argument("--copies", type=int, default=2,
+                          help="raster copies per host")
+    p_render.add_argument("--isovalue", type=float, default=0.3)
+    p_render.add_argument("--timestep", type=int, default=0)
+    p_render.add_argument("--chunks", type=int, default=27)
+    p_render.add_argument("--files", type=int, default=8)
+    p_render.add_argument("--seed", type=int, default=7)
+    p_render.add_argument("--out", default="render.ppm")
+    p_render.set_defaults(func=_cmd_render)
+
+    p_sim = sub.add_parser("simulate", help="run one simulated scenario")
+    p_sim.add_argument("--dataset", default="25gb", choices=["1.5gb", "25gb"])
+    p_sim.add_argument("--scale", type=float, default=0.02)
+    p_sim.add_argument("--rogue", type=int, default=4, help="Rogue nodes")
+    p_sim.add_argument("--blue", type=int, default=4, help="Blue nodes")
+    p_sim.add_argument("--bg-jobs", type=int, default=0,
+                       help="background jobs per Rogue node")
+    p_sim.add_argument("--config", default="RE-Ra-M",
+                       choices=["R-E-Ra-M", "RE-Ra-M", "R-ERa-M", "RERa-M"])
+    p_sim.add_argument("--algorithm", default="active",
+                       choices=["active", "zbuffer"])
+    p_sim.add_argument("--policy", default="DD",
+                       choices=["RR", "WRR", "DD", "RATE"])
+    p_sim.add_argument("--image", type=int, default=2048)
+    p_sim.add_argument("--auto-place", action="store_true",
+                       help="derive placement/copies with repro.planner")
+    p_sim.add_argument("--trace", action="store_true",
+                       help="print a per-copy activity timeline")
+    p_sim.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

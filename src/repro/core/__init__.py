@@ -1,0 +1,58 @@
+"""DataCutter-style component framework.
+
+Filters communicate over unidirectional streams carrying fixed-size buffers;
+a logical filter may execute as transparent copies across hosts, with writer
+policies (RR / WRR / DD) routing buffers among copy sets.
+"""
+
+from repro.core.buffer import DataBuffer, chunk_bytes
+from repro.core.filter import (
+    Filter,
+    FilterContext,
+    SimFilter,
+    SimSource,
+    SourceItem,
+)
+from repro.core.graph import FilterGraph, FilterSpec, StreamSpec
+from repro.core.instrument import CopyStats, RunMetrics, StreamStats
+from repro.core.negotiate import BufferBounds, declare_bounds, negotiate
+from repro.core.placement import CopySetSpec, Placement
+from repro.core.policies import (
+    DemandDriven,
+    RateBased,
+    PolicyFactory,
+    RoundRobin,
+    Target,
+    WeightedRoundRobin,
+    WriterPolicy,
+    make_policy_factory,
+)
+
+__all__ = [
+    "BufferBounds",
+    "CopySetSpec",
+    "CopyStats",
+    "DataBuffer",
+    "DemandDriven",
+    "Filter",
+    "FilterContext",
+    "FilterGraph",
+    "FilterSpec",
+    "Placement",
+    "PolicyFactory",
+    "RateBased",
+    "RoundRobin",
+    "RunMetrics",
+    "SimFilter",
+    "SimSource",
+    "SourceItem",
+    "StreamSpec",
+    "StreamStats",
+    "Target",
+    "WeightedRoundRobin",
+    "WriterPolicy",
+    "chunk_bytes",
+    "declare_bounds",
+    "make_policy_factory",
+    "negotiate",
+]

@@ -1,0 +1,61 @@
+"""Data buffers: the unit of communication between filters.
+
+All stream traffic is fixed-size buffers (paper Section 2).  A
+:class:`DataBuffer` carries an explicit byte count (used by the simulated
+engine for network/disk accounting) and an optional payload (real data, used
+by the threaded engine and by trace-driven simulation).  ``tags`` is an open
+dictionary for application metadata (chunk id, timestep, scanline range...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["DataBuffer", "chunk_bytes"]
+
+
+@dataclass
+class DataBuffer:
+    """One stream buffer.
+
+    Parameters
+    ----------
+    nbytes:
+        Size on the wire in bytes.  Must be >= 0.
+    payload:
+        Optional real contents (any object; typically NumPy arrays).
+    tags:
+        Application metadata travelling with the buffer.
+    """
+
+    nbytes: int
+    payload: Any = None
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"buffer nbytes must be >= 0, got {self.nbytes}")
+
+    def with_tags(self, **tags: Any) -> "DataBuffer":
+        """Return a copy of this buffer with additional tags."""
+        merged = dict(self.tags)
+        merged.update(tags)
+        return DataBuffer(self.nbytes, self.payload, merged)
+
+
+def chunk_bytes(total_bytes: int, buffer_size: int) -> list[int]:
+    """Split ``total_bytes`` into fixed-size buffer payloads.
+
+    Returns the byte count of each buffer: all ``buffer_size`` except a
+    possibly smaller final one.  ``total_bytes == 0`` yields no buffers.
+    """
+    if buffer_size < 1:
+        raise ValueError(f"buffer_size must be >= 1, got {buffer_size}")
+    if total_bytes < 0:
+        raise ValueError(f"total_bytes must be >= 0, got {total_bytes}")
+    full, rest = divmod(total_bytes, buffer_size)
+    sizes = [buffer_size] * full
+    if rest:
+        sizes.append(rest)
+    return sizes

@@ -1,0 +1,158 @@
+"""Filter graphs: the logical processing structure of an application.
+
+A :class:`FilterGraph` is a DAG of named filters joined by logical streams.
+It carries *factories*, not instances: each execution engine instantiates
+one object per transparent copy from the registered factory.  Two factory
+slots exist per filter:
+
+- ``factory`` builds a real :class:`repro.core.filter.Filter` (threaded
+  engine, trace-driven runs);
+- ``sim_factory`` builds a :class:`repro.core.filter.SimFilter` cost/behaviour
+  model (simulated engine).
+
+An application can register either or both.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import networkx as nx
+
+from repro.errors import GraphError
+
+__all__ = ["FilterSpec", "StreamSpec", "FilterGraph"]
+
+
+@dataclass
+class FilterSpec:
+    """One logical filter in the graph."""
+
+    name: str
+    factory: Callable[[], Any] | None = None
+    sim_factory: Callable[[], Any] | None = None
+    is_source: bool = False
+    inputs: list["StreamSpec"] = field(default_factory=list)
+    outputs: list["StreamSpec"] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"<FilterSpec {self.name}>"
+
+
+@dataclass
+class StreamSpec:
+    """One logical stream: a unidirectional producer->consumer pipe."""
+
+    name: str
+    src: str
+    dst: str
+
+    def __repr__(self) -> str:
+        return f"<StreamSpec {self.name}: {self.src}->{self.dst}>"
+
+
+class FilterGraph:
+    """A DAG of filters and streams.
+
+    Example::
+
+        g = FilterGraph()
+        g.add_filter("read", sim_factory=make_read, is_source=True)
+        g.add_filter("extract", sim_factory=make_extract)
+        g.connect("read", "extract")
+    """
+
+    def __init__(self) -> None:
+        self.filters: dict[str, FilterSpec] = {}
+        self.streams: dict[str, StreamSpec] = {}
+
+    # -- construction --------------------------------------------------------
+    def add_filter(
+        self,
+        name: str,
+        factory: Callable[[], Any] | None = None,
+        sim_factory: Callable[[], Any] | None = None,
+        is_source: bool = False,
+    ) -> FilterSpec:
+        """Register a logical filter.  Names must be unique."""
+        if not name:
+            raise GraphError("filter name must be non-empty")
+        if name in self.filters:
+            raise GraphError(f"duplicate filter {name!r}")
+        spec = FilterSpec(
+            name=name, factory=factory, sim_factory=sim_factory, is_source=is_source
+        )
+        self.filters[name] = spec
+        return spec
+
+    def connect(self, src: str, dst: str, name: str | None = None) -> StreamSpec:
+        """Add a logical stream from filter ``src`` to filter ``dst``."""
+        for endpoint in (src, dst):
+            if endpoint not in self.filters:
+                raise GraphError(f"unknown filter {endpoint!r}")
+        if src == dst:
+            raise GraphError(f"self-loop on filter {src!r}")
+        name = name or f"{src}->{dst}"
+        if name in self.streams:
+            raise GraphError(f"duplicate stream {name!r}")
+        spec = StreamSpec(name=name, src=src, dst=dst)
+        self.streams[name] = spec
+        self.filters[src].outputs.append(spec)
+        self.filters[dst].inputs.append(spec)
+        return spec
+
+    # -- queries ---------------------------------------------------------------
+    def sources(self) -> list[FilterSpec]:
+        """Filters with no input streams (data producers)."""
+        return [f for f in self.filters.values() if not f.inputs]
+
+    def sinks(self) -> list[FilterSpec]:
+        """Filters with no output streams (result consumers)."""
+        return [f for f in self.filters.values() if not f.outputs]
+
+    def topological_order(self) -> list[str]:
+        """Filter names in a producer-before-consumer order."""
+        self.validate()
+        dag = self._as_nx()
+        return list(nx.topological_sort(dag))
+
+    def upstream_of(self, name: str) -> set[str]:
+        """All filters that (transitively) feed ``name``."""
+        if name not in self.filters:
+            raise GraphError(f"unknown filter {name!r}")
+        return nx.ancestors(self._as_nx(), name)
+
+    # -- validation ---------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`GraphError` if broken."""
+        if not self.filters:
+            raise GraphError("graph has no filters")
+        dag = self._as_nx()
+        if not nx.is_directed_acyclic_graph(dag):
+            cycle = nx.find_cycle(dag)
+            raise GraphError(f"graph has a cycle: {cycle}")
+        for spec in self.filters.values():
+            if not spec.inputs and not spec.is_source:
+                raise GraphError(
+                    f"filter {spec.name!r} has no inputs but is not marked "
+                    f"is_source"
+                )
+            if spec.is_source and spec.inputs:
+                raise GraphError(
+                    f"source filter {spec.name!r} must not have inputs"
+                )
+
+    def _as_nx(self) -> nx.DiGraph:
+        dag = nx.DiGraph()
+        dag.add_nodes_from(self.filters)
+        for stream in self.streams.values():
+            dag.add_edge(stream.src, stream.dst)
+        return dag
+
+    def __repr__(self) -> str:
+        return (
+            f"<FilterGraph {len(self.filters)} filters, "
+            f"{len(self.streams)} streams>"
+        )

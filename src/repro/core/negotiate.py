@@ -1,0 +1,109 @@
+"""Stream buffer-size negotiation (paper Section 2).
+
+"All transfers to and from streams are through fixed size buffers ...  The
+size of a buffer is determined in the init call, where a filter discloses a
+minimum and an optional maximum buffer size for each of its streams, and
+the runtime system chooses the actual size."
+
+Filters declare :class:`BufferBounds` per stream on the graph
+(:func:`declare_bounds`); :func:`negotiate` picks each stream's actual size:
+the largest disclosed minimum, clamped by the smallest disclosed maximum,
+falling back to ``default`` when nobody constrains a stream.  Incompatible
+disclosures (a required minimum above another party's maximum) raise
+:class:`~repro.errors.GraphError` at negotiation time — before anything
+runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.graph import FilterGraph
+from repro.errors import GraphError
+
+__all__ = ["BufferBounds", "declare_bounds", "negotiate"]
+
+#: Default stream buffer size when no endpoint constrains it.
+DEFAULT_BUFFER_SIZE = 64 * 1024
+
+
+@dataclass(frozen=True)
+class BufferBounds:
+    """One endpoint's disclosure for one stream."""
+
+    minimum: int
+    maximum: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.minimum < 1:
+            raise GraphError(f"minimum buffer size must be >= 1, got {self.minimum}")
+        if self.maximum is not None and self.maximum < self.minimum:
+            raise GraphError(
+                f"maximum buffer size {self.maximum} below minimum {self.minimum}"
+            )
+
+
+_ATTR = "_buffer_bounds"
+
+
+def declare_bounds(
+    graph: FilterGraph,
+    filter_name: str,
+    stream: str,
+    minimum: int,
+    maximum: int | None = None,
+) -> None:
+    """Record ``filter_name``'s disclosure for ``stream``.
+
+    The filter must be an endpoint (producer or consumer) of the stream.
+    """
+    if filter_name not in graph.filters:
+        raise GraphError(f"unknown filter {filter_name!r}")
+    spec = graph.streams.get(stream)
+    if spec is None:
+        raise GraphError(f"unknown stream {stream!r}")
+    if filter_name not in (spec.src, spec.dst):
+        raise GraphError(
+            f"filter {filter_name!r} is not an endpoint of stream {stream!r}"
+        )
+    bounds = BufferBounds(minimum, maximum)
+    registry = getattr(graph, _ATTR, None)
+    if registry is None:
+        registry = {}
+        setattr(graph, _ATTR, registry)
+    registry[(filter_name, stream)] = bounds
+
+
+def negotiate(
+    graph: FilterGraph, default: int = DEFAULT_BUFFER_SIZE
+) -> dict[str, int]:
+    """Choose the actual buffer size of every stream in the graph.
+
+    Per stream: ``size = max(disclosed minimums)`` clamped to
+    ``min(disclosed maximums)``; ``default`` when nothing is disclosed
+    (clamped into any disclosed bounds).  Raises :class:`GraphError` when
+    the disclosures are mutually unsatisfiable.
+    """
+    if default < 1:
+        raise GraphError(f"default buffer size must be >= 1, got {default}")
+    registry: dict[tuple[str, str], BufferBounds] = getattr(graph, _ATTR, {})
+    sizes: dict[str, int] = {}
+    for stream in graph.streams:
+        disclosures = [
+            bounds
+            for (fname, sname), bounds in registry.items()
+            if sname == stream
+        ]
+        floor = max((b.minimum for b in disclosures), default=1)
+        ceilings = [b.maximum for b in disclosures if b.maximum is not None]
+        ceiling = min(ceilings) if ceilings else None
+        if ceiling is not None and floor > ceiling:
+            raise GraphError(
+                f"stream {stream!r}: required minimum {floor} exceeds "
+                f"another endpoint's maximum {ceiling}"
+            )
+        size = max(floor, default if ceiling is None else min(default, ceiling))
+        if ceiling is not None:
+            size = min(size, ceiling)
+        sizes[stream] = size
+    return sizes

@@ -1,0 +1,328 @@
+"""Writer policies: how a producer copy distributes buffers among copy sets.
+
+When the logical consumer of a stream is transparently copied, every
+producer copy owns a *writer* that picks, per buffer, which consumer copy
+set receives it (paper Section 2, Figure 1).  Three policies are studied:
+
+- **Round Robin (RR)** — cyclic over copy sets, one buffer per host per turn.
+- **Weighted Round Robin (WRR)** — cyclic, with each host appearing once per
+  copy it runs (buffers sent linearly proportional to copies per host).
+- **Demand Driven (DD)** — a sliding-window scheme: the consumer acknowledges
+  each buffer when it starts processing it; the producer sends to the copy
+  set with the fewest unacknowledged buffers, preferring a co-located copy
+  set on ties.  When every copy set has a full window the writer blocks
+  until an acknowledgment returns.
+
+A policy instance belongs to exactly one writer (one producer copy, one
+output stream); engines create instances via a factory so copies never share
+state.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Target",
+    "WriterPolicy",
+    "RoundRobin",
+    "WeightedRoundRobin",
+    "DemandDriven",
+    "RateBased",
+    "PolicyFactory",
+    "make_policy_factory",
+]
+
+
+class Target:
+    """A writer's view of one consumer copy set.
+
+    ``unacked`` is maintained by the policy via :meth:`WriterPolicy.on_sent`
+    and :meth:`WriterPolicy.on_ack`; ``sent`` counts all buffers routed to
+    this copy set by the owning writer.
+    """
+
+    __slots__ = ("index", "host", "copies", "local", "unacked", "sent")
+
+    def __init__(self, index: int, host: str, copies: int, local: bool):
+        self.index = index
+        self.host = host
+        self.copies = copies
+        self.local = local
+        self.unacked = 0
+        self.sent = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<Target {self.index} host={self.host} copies={self.copies} "
+            f"unacked={self.unacked}>"
+        )
+
+
+class WriterPolicy(ABC):
+    """Per-writer buffer routing decision logic."""
+
+    #: True if the engine must deliver consumer acknowledgments to this
+    #: policy (Demand Driven and Rate Based need them).
+    needs_ack: bool = False
+
+    def __init__(self) -> None:
+        self.targets: list[Target] = []
+        #: Time source; engines override it (the simulated engine injects
+        #: the simulation clock) so time-aware policies see the right time.
+        self.clock: Callable[[], float] = time.monotonic
+
+    def bind(self, targets: list[Target]) -> None:
+        """Attach the consumer copy sets this writer can route to."""
+        if not targets:
+            raise ConfigurationError("writer bound with no targets")
+        self.targets = list(targets)
+
+    @abstractmethod
+    def select(self) -> Target | None:
+        """Pick the destination for the next buffer.
+
+        Returns ``None`` when the policy cannot send right now (DD with all
+        windows full); the engine must wait for an acknowledgment and retry.
+        """
+
+    def on_sent(self, target: Target) -> None:
+        """Engine notification: a buffer was sent to ``target``."""
+        target.sent += 1
+
+    def on_ack(self, target: Target) -> None:
+        """Engine notification: consumer acknowledged one buffer."""
+
+
+class RoundRobin(WriterPolicy):
+    """Cyclic distribution: one buffer per copy set per turn."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next = 0
+
+    def select(self) -> Target | None:
+        """Pick the destination copy set for the next buffer."""
+        target = self.targets[self._next % len(self.targets)]
+        self._next += 1
+        return target
+
+
+class WeightedRoundRobin(WriterPolicy):
+    """Cyclic distribution weighted by copies per host.
+
+    The cycle interleaves hosts (``A B A`` for A:2 copies, B:1) rather than
+    bursting (``A A B``), which keeps short-term load smooth while preserving
+    the linear proportionality the paper specifies.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._cycle: list[Target] = []
+        self._next = 0
+
+    def bind(self, targets: list[Target]) -> None:
+        """Attach the consumer copy sets and precompute the cycle."""
+        super().bind(targets)
+        max_copies = max(t.copies for t in self.targets)
+        self._cycle = [
+            t for round_ in range(max_copies) for t in self.targets if t.copies > round_
+        ]
+
+    def select(self) -> Target | None:
+        """Pick the destination copy set for the next buffer."""
+        target = self._cycle[self._next % len(self._cycle)]
+        self._next += 1
+        return target
+
+
+class DemandDriven(WriterPolicy):
+    """Least-unacknowledged-buffers routing with a sliding window.
+
+    Parameters
+    ----------
+    window:
+        Maximum unacknowledged buffers per copy set.  Buffers are admitted to
+        a copy set only while its window has room; with every window full the
+        writer blocks.  The paper describes "a sliding window mechanism based
+        on buffer consumption rate"; the default of 4 keeps enough buffers in
+        flight to cover ack latency on a fast LAN without flooding slow
+        consumers.
+    prefer_local:
+        Break ties in favour of a co-located copy set (paper: "In the event
+        of a tie, any local colocated copies will be chosen").
+    """
+
+    needs_ack = True
+
+    def __init__(self, window: int = 4, prefer_local: bool = True):
+        super().__init__()
+        if window < 1:
+            raise ConfigurationError(f"DD window must be >= 1, got {window}")
+        self.window = window
+        self.prefer_local = prefer_local
+
+    def select(self) -> Target | None:
+        """Pick the destination copy set for the next buffer."""
+        best: Target | None = None
+        for target in self.targets:
+            if target.unacked >= self.window:
+                continue
+            if best is None or target.unacked < best.unacked:
+                best = target
+            elif (
+                self.prefer_local
+                and target.unacked == best.unacked
+                and target.local
+                and not best.local
+            ):
+                best = target
+        return best
+
+    def on_sent(self, target: Target) -> None:
+        """Account one buffer sent to ``target``."""
+        super().on_sent(target)
+        target.unacked += 1
+
+    def on_ack(self, target: Target) -> None:
+        """Account one acknowledgment from ``target``."""
+        if target.unacked <= 0:
+            raise ConfigurationError(
+                f"ack for target {target.host!r} with no outstanding buffers"
+            )
+        target.unacked -= 1
+
+
+class RateBased(WriterPolicy):
+    """Service-rate-estimating routing (an extension beyond the paper).
+
+    The paper's conclusions call for "other dynamic strategies for buffer
+    distribution".  Demand Driven reacts to *outstanding counts*; this
+    policy also learns each copy set's *service time* — the EWMA of the
+    interval between sending a buffer and receiving its acknowledgment —
+    and routes the next buffer to the copy set with the least expected
+    completion time, ``(unacked + 1) * ewma_service_time``.  Unmeasured
+    targets get one probe buffer each before estimates kick in.
+
+    Parameters
+    ----------
+    window:
+        Maximum unacknowledged buffers per copy set (as in DD).
+    alpha:
+        EWMA smoothing factor in (0, 1]; higher = more reactive.
+    prefer_local:
+        Break score ties in favour of a co-located copy set.
+    """
+
+    needs_ack = True
+
+    def __init__(self, window: int = 8, alpha: float = 0.3, prefer_local: bool = True):
+        super().__init__()
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.window = window
+        self.alpha = alpha
+        self.prefer_local = prefer_local
+        self._sent_at: dict[int, list[float]] = {}
+        self._ewma: dict[int, float] = {}
+
+    def bind(self, targets: list[Target]) -> None:
+        """Attach the consumer copy sets and precompute the cycle."""
+        super().bind(targets)
+        self._sent_at = {t.index: [] for t in targets}
+        self._ewma = {}
+
+    def select(self) -> Target | None:
+        # Probe pass: any idle, never-measured target gets one buffer so an
+        # estimate forms (without flooding a potentially slow target).  A
+        # co-located candidate is probed first when preferred.
+        """Pick the destination copy set for the next buffer."""
+        probe: Target | None = None
+        for target in self.targets:
+            if (
+                target.index not in self._ewma
+                and target.unacked == 0
+                and target.unacked < self.window
+            ):
+                if probe is None or (
+                    self.prefer_local and target.local and not probe.local
+                ):
+                    probe = target
+        if probe is not None:
+            return probe
+        best: Target | None = None
+        best_score = float("inf")
+        for target in self.targets:
+            if target.unacked >= self.window:
+                continue
+            est = self._ewma.get(target.index)
+            if est is None:
+                # Unmeasured and busy: fall back to DD-style counting so it
+                # is not starved while its probe is in flight.
+                score = float(target.unacked)
+            else:
+                score = (target.unacked + 1) * est
+            if score < best_score:
+                best, best_score = target, score
+            elif (
+                self.prefer_local
+                and score == best_score
+                and target.local
+                and best is not None
+                and not best.local
+            ):
+                best = target
+        return best
+
+    def on_sent(self, target: Target) -> None:
+        """Account one buffer sent to ``target``."""
+        super().on_sent(target)
+        target.unacked += 1
+        self._sent_at[target.index].append(self.clock())
+
+    def on_ack(self, target: Target) -> None:
+        """Account one acknowledgment from ``target``."""
+        if target.unacked <= 0:
+            raise ConfigurationError(
+                f"ack for target {target.host!r} with no outstanding buffers"
+            )
+        target.unacked -= 1
+        sent = self._sent_at[target.index].pop(0)
+        latency = max(self.clock() - sent, 1e-12)
+        prev = self._ewma.get(target.index)
+        if prev is None:
+            self._ewma[target.index] = latency
+        else:
+            self._ewma[target.index] = self.alpha * latency + (1 - self.alpha) * prev
+
+
+#: A callable producing a fresh policy per writer.
+PolicyFactory = Callable[[], WriterPolicy]
+
+_REGISTRY: dict[str, Callable[..., WriterPolicy]] = {
+    "RR": RoundRobin,
+    "WRR": WeightedRoundRobin,
+    "DD": DemandDriven,
+    "RATE": RateBased,
+}
+
+
+def make_policy_factory(name: str, **kwargs: object) -> PolicyFactory:
+    """Build a policy factory from a short name (``"RR"``/``"WRR"``/``"DD"``).
+
+    Keyword arguments are forwarded to the policy constructor (e.g.
+    ``make_policy_factory("DD", window=8)``).
+    """
+    try:
+        cls = _REGISTRY[name.upper()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; choose from {sorted(_REGISTRY)}"
+        ) from None
+    return lambda: cls(**kwargs)

@@ -1,0 +1,137 @@
+"""Spectral (turbulence-like) synthetic datasets.
+
+A second workload family beside :class:`~repro.data.parssim.ParSSimDataset`:
+Gaussian random fields synthesised in Fourier space with a power-law
+spectrum ``E(k) ~ k**(-slope)``, evolving over timesteps by phase rotation
+(frozen-turbulence advection).  Where the ParSSim-like plumes give compact,
+shell-concentrated isosurfaces, spectral fields give space-filling, wrinkled
+isosurfaces — the other extreme of isosurface workload character — which
+stresses marching cubes throughput, buffer distribution uniformity, and the
+active-pixel scheme's sparsity assumptions.
+
+Fields are deterministic in ``(seed, timestep, species)``; chunked access
+(:meth:`SpectralDataset.chunk_field`) is bit-identical to slicing the full
+field, like the ParSSim generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.chunks import BYTES_PER_POINT, ChunkSpec
+from repro.errors import DataError
+
+__all__ = ["SpectralDataset"]
+
+
+class SpectralDataset:
+    """A multi-timestep Gaussian random field with a power-law spectrum.
+
+    Parameters
+    ----------
+    shape:
+        Grid points per axis, (nz, ny, nx).
+    timesteps / species:
+        Stored timesteps and independent field channels.
+    slope:
+        Spectral slope; larger = smoother fields (5/3 + 2 ~ Kolmogorov
+        velocity-like smoothness for a scalar).
+    advection:
+        Fraction of the domain the frozen field drifts per timestep.
+    seed:
+        Reproducibility seed.
+
+    Unlike the plume generator, whole fields are synthesised by FFT; chunked
+    access slices a cached field, so grids should stay moderate (tests use
+    <= 64^3).
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, int, int],
+        timesteps: int = 4,
+        species: int = 1,
+        slope: float = 11.0 / 3.0,
+        advection: float = 0.07,
+        seed: int = 0,
+    ):
+        if len(shape) != 3 or any(s < 4 for s in shape):
+            raise DataError(f"shape must be 3 axes of >= 4 points, got {shape}")
+        if timesteps < 1 or species < 1:
+            raise DataError("timesteps and species must be >= 1")
+        if slope <= 0:
+            raise DataError(f"slope must be > 0, got {slope}")
+        self.shape = tuple(int(s) for s in shape)
+        self.timesteps = timesteps
+        self.species = species
+        self.slope = slope
+        self.advection = advection
+        self.seed = seed
+        self._spectra: list[np.ndarray] = []
+        rng = np.random.default_rng(seed)
+        nz, ny, nx = self.shape
+        kz = np.fft.fftfreq(nz)[:, None, None]
+        ky = np.fft.fftfreq(ny)[None, :, None]
+        kx = np.fft.rfftfreq(nx)[None, None, :]
+        k2 = kz**2 + ky**2 + kx**2
+        k2[0, 0, 0] = np.inf  # zero the mean mode
+        amplitude = k2 ** (-slope / 4.0)  # |F|^2 ~ k^-slope/... per mode
+        self._k = (kz, ky, kx)
+        for _s in range(species):
+            phase = rng.uniform(0, 2 * np.pi, size=amplitude.shape)
+            noise = rng.normal(size=amplitude.shape)
+            self._spectra.append(amplitude * (1 + 0.1 * noise) * np.exp(1j * phase))
+        self._cache: dict[tuple[int, int], np.ndarray] = {}
+
+    # -- sizes -------------------------------------------------------------
+    @property
+    def points_per_field(self) -> int:
+        """Grid points in one (timestep, species) field."""
+        nz, ny, nx = self.shape
+        return nz * ny * nx
+
+    @property
+    def bytes_per_field(self) -> int:
+        """Bytes of one scalar field (float32)."""
+        return self.points_per_field * BYTES_PER_POINT
+
+    # -- generation ----------------------------------------------------------
+    def field(self, timestep: int, species: int = 0) -> np.ndarray:
+        """The full scalar field, normalised to zero mean / unit std."""
+        self._check(timestep, species)
+        key = (timestep, species)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        kz, ky, kx = self._k
+        # Frozen-field advection: a phase ramp shifts the whole pattern.
+        shift = self.advection * timestep * np.asarray(self.shape)
+        ramp = np.exp(
+            -2j * np.pi * (kz * shift[0] + ky * shift[1] + kx * shift[2])
+        )
+        spec = self._spectra[species] * ramp
+        field = np.fft.irfftn(spec, s=self.shape, axes=(0, 1, 2))
+        std = field.std()
+        if std > 0:
+            field = field / std
+        out = field.astype(np.float32)
+        self._cache[key] = out
+        return out
+
+    def chunk_field(
+        self, chunk: ChunkSpec, timestep: int, species: int = 0
+    ) -> np.ndarray:
+        """The field restricted to one chunk (slices the cached field)."""
+        return self.field(timestep, species)[chunk.slices()]
+
+    def _check(self, timestep: int, species: int) -> None:
+        if not 0 <= timestep < self.timesteps:
+            raise DataError(f"timestep {timestep} outside [0, {self.timesteps})")
+        if not 0 <= species < self.species:
+            raise DataError(f"species {species} outside [0, {self.species})")
+
+    def __repr__(self) -> str:
+        return (
+            f"<SpectralDataset {self.shape} x{self.timesteps} steps "
+            f"slope={self.slope:.2f}>"
+        )

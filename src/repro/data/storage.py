@@ -1,0 +1,126 @@
+"""Storage maps: which host/disk holds which declustered file.
+
+The experiments vary this mapping: uniform partitioning over the nodes in
+use (Figures 4-5), data confined to a subset of "data nodes" (Table 5), and
+skewed distributions where P% of the Blue-node files move to the Rogue
+nodes (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections import defaultdict
+
+from repro.data.decluster import DataFile
+from repro.errors import DataError
+
+__all__ = ["HostDisks", "StorageMap"]
+
+
+@dataclass(frozen=True)
+class HostDisks:
+    """A storage target: a host and how many local disks it exposes."""
+
+    host: str
+    disks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.disks < 1:
+            raise DataError(f"host {self.host!r} needs >= 1 disks")
+
+
+class StorageMap:
+    """Assignment of data files to (host, disk) locations."""
+
+    def __init__(self) -> None:
+        # file_id -> (DataFile, host, disk_index)
+        self._by_file: dict[int, tuple[DataFile, str, int]] = {}
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def balanced(cls, files: list[DataFile], targets: list[HostDisks]) -> "StorageMap":
+        """Deal files round-robin over every (host, disk) slot."""
+        if not targets:
+            raise DataError("no storage targets")
+        slots = [(t.host, d) for t in targets for d in range(t.disks)]
+        mapping = cls()
+        for i, f in enumerate(files):
+            host, disk = slots[i % len(slots)]
+            mapping.assign(f, host, disk)
+        return mapping
+
+    def skew(
+        self,
+        from_hosts: list[str],
+        to_targets: list[HostDisks],
+        fraction: float,
+    ) -> "StorageMap":
+        """Move ``fraction`` of the files on ``from_hosts`` to ``to_targets``.
+
+        Models the paper's skewed experiment: "we moved P% percent of the
+        files from Blue nodes to the Rogue nodes and distributed them evenly
+        across the Rogue nodes."  Returns a new map; self is unchanged.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise DataError(f"fraction must be in [0, 1], got {fraction}")
+        new = StorageMap()
+        new._by_file = dict(self._by_file)
+        victims = [
+            (f, host, disk)
+            for f, host, disk in self._by_file.values()
+            if host in set(from_hosts)
+        ]
+        victims.sort(key=lambda rec: rec[0].file_id)
+        nmove = round(fraction * len(victims))
+        slots = [(t.host, d) for t in to_targets for d in range(t.disks)]
+        if nmove and not slots:
+            raise DataError("no destination targets for skew")
+        for i, (f, _h, _d) in enumerate(victims[:nmove]):
+            host, disk = slots[i % len(slots)]
+            new.assign(f, host, disk)
+        return new
+
+    # -- mutation ------------------------------------------------------------
+    def assign(self, data_file: DataFile, host: str, disk: int = 0) -> None:
+        """Place (or re-place) one file."""
+        if disk < 0:
+            raise DataError(f"disk index must be >= 0, got {disk}")
+        self._by_file[data_file.file_id] = (data_file, host, disk)
+
+    # -- queries ---------------------------------------------------------------
+    def files_on(self, host: str) -> list[tuple[DataFile, int]]:
+        """(file, disk) pairs stored on ``host``, in file-id order."""
+        found = [
+            (f, disk)
+            for f, h, disk in self._by_file.values()
+            if h == host
+        ]
+        found.sort(key=lambda rec: rec[0].file_id)
+        return found
+
+    def bytes_on(self, host: str) -> int:
+        """Total bytes stored on ``host``."""
+        return sum(f.nbytes for f, _d in self.files_on(host))
+
+    def hosts(self) -> list[str]:
+        """Hosts holding at least one file, sorted."""
+        return sorted({h for _f, h, _d in self._by_file.values()})
+
+    def location(self, file_id: int) -> tuple[str, int]:
+        """(host, disk) of one file."""
+        try:
+            _f, host, disk = self._by_file[file_id]
+        except KeyError:
+            raise DataError(f"unknown file id {file_id}") from None
+        return (host, disk)
+
+    def total_files(self) -> int:
+        """Number of placed files."""
+        return len(self._by_file)
+
+    def distribution(self) -> dict[str, int]:
+        """host -> file count (diagnostics)."""
+        counts: dict[str, int] = defaultdict(int)
+        for _f, host, _d in self._by_file.values():
+            counts[host] += 1
+        return dict(counts)

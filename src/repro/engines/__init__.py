@@ -1,0 +1,13 @@
+"""Execution engines for placed filter graphs.
+
+- :class:`~repro.engines.simulated.SimulatedEngine` runs cost models over
+  the DES cluster substrate (all scheduling experiments);
+- :class:`~repro.engines.threaded.ThreadedEngine` runs real filters with
+  threads in this process (correctness runs, examples).
+"""
+
+from repro.engines.base import Engine
+from repro.engines.simulated import PendingRun, SimulatedEngine, run_concurrent
+from repro.engines.threaded import ThreadedEngine
+
+__all__ = ["Engine", "PendingRun", "SimulatedEngine", "ThreadedEngine", "run_concurrent"]

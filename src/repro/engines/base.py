@@ -1,0 +1,23 @@
+"""Shared engine-facing definitions."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.instrument import RunMetrics
+
+__all__ = ["Engine"]
+
+
+class Engine(ABC):
+    """An execution engine runs a placed filter graph for one unit of work.
+
+    Implementations: :class:`repro.engines.simulated.SimulatedEngine` (runs
+    cost models over the DES cluster substrate, used for every scheduling
+    experiment) and :class:`repro.engines.threaded.ThreadedEngine` (runs real
+    filters locally with threads, used for correctness and the examples).
+    """
+
+    @abstractmethod
+    def run(self) -> RunMetrics:
+        """Execute one unit of work and return its measurements."""

@@ -1,0 +1,343 @@
+"""Threaded execution engine: run real filters locally.
+
+Each transparent copy becomes a Python thread; streams are bounded
+``queue.Queue`` objects shared per copy set, exactly mirroring the simulated
+engine's structure (shared per-host queue, writer policies, end-of-work
+markers, DD acknowledgments).  Placement host names are treated as labels —
+all threads run in this process — so the same graph/placement objects drive
+both engines.
+
+This engine exists for *correctness* and for the runnable examples (it
+renders real images).  Scheduling/throughput conclusions come from the
+simulated engine: the GIL serialises NumPy-light Python work and would
+distort them (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Any
+
+from repro.core.buffer import DataBuffer
+from repro.core.filter import Filter, FilterContext
+from repro.core.graph import FilterGraph
+from repro.core.instrument import RunMetrics
+from repro.core.placement import Placement
+from repro.core.policies import PolicyFactory, Target, make_policy_factory
+from repro.engines.base import Engine
+from repro.errors import EngineError
+
+__all__ = ["ThreadedEngine"]
+
+_STOP = object()
+
+
+class _CopySetQueue:
+    """Shared bounded queue for all copies of a filter on one 'host'."""
+
+    def __init__(self, copies: int, expected_eow: int, capacity: int):
+        self.queue: queue.Queue = queue.Queue(maxsize=capacity)
+        self.copies = copies
+        self.expected_eow = expected_eow
+        self._eow_seen = 0
+        self._lock = threading.Lock()
+
+    def put(self, item: Any) -> None:
+        """Enqueue one item (blocks when the queue is full)."""
+        self.queue.put(item)
+
+    def producer_finished(self) -> None:
+        """Count one upstream end-of-work marker; close when all arrived."""
+        with self._lock:
+            self._eow_seen += 1
+            if self._eow_seen > self.expected_eow:
+                raise EngineError("more EOW markers than producers")
+            if self._eow_seen == self.expected_eow:
+                for _ in range(self.copies):
+                    self.queue.put(_STOP)
+
+
+class _Writer:
+    """Thread-safe producer-side router for one (copy, stream) pair."""
+
+    def __init__(self, host: str, policy, copysets: list[_CopySetQueue], hosts: list[str]):
+        self.policy = policy
+        self.copysets = copysets
+        targets = [
+            Target(i, h, cs.copies, local=(h == host))
+            for i, (h, cs) in enumerate(zip(hosts, copysets))
+        ]
+        policy.bind(targets)
+        self._cond = threading.Condition()
+
+    def send(self, envelope: "_Envelope") -> Target:
+        """Route one envelope via the policy; blocks while windows are full."""
+        with self._cond:
+            target = self.policy.select()
+            while target is None:
+                self._cond.wait()
+                target = self.policy.select()
+            self.policy.on_sent(target)
+        envelope.writer = self if self.policy.needs_ack else None
+        envelope.target = target if self.policy.needs_ack else None
+        self.copysets[target.index].put(envelope)
+        return target
+
+    def deliver_ack(self, target: Target) -> None:
+        """Apply a consumer acknowledgment and wake blocked senders."""
+        with self._cond:
+            self.policy.on_ack(target)
+            self._cond.notify_all()
+
+
+class _Envelope:
+    __slots__ = ("buffer", "stream", "writer", "target")
+
+    def __init__(self, buffer: DataBuffer, stream: str):
+        self.buffer = buffer
+        self.stream = stream
+        self.writer: _Writer | None = None
+        self.target: Target | None = None
+
+
+class ThreadedEngine(Engine):
+    """Execute a filter graph with real filters and one thread per copy.
+
+    Parameters mirror :class:`repro.engines.simulated.SimulatedEngine`;
+    every filter needs a ``factory`` building a
+    :class:`repro.core.filter.Filter`.  Source filters (no input streams)
+    receive no ``handle`` calls; they generate all their output from
+    ``flush`` via ``ctx.write``.
+    """
+
+    def __init__(
+        self,
+        graph: FilterGraph,
+        placement: Placement,
+        policy: str | PolicyFactory = "DD",
+        policy_overrides: dict[str, str | PolicyFactory] | None = None,
+        queue_capacity: int = 8,
+    ):
+        graph.validate()
+        hosts = {
+            cs.host
+            for name in graph.filters
+            for cs in placement.copysets(name)
+        }
+        placement.validate(graph, hosts)
+        for spec in graph.filters.values():
+            if spec.factory is None:
+                raise EngineError(
+                    f"filter {spec.name!r} has no factory; the threaded "
+                    f"engine needs one per filter"
+                )
+        if queue_capacity < 1:
+            raise EngineError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        self.graph = graph
+        self.placement = placement
+        self.queue_capacity = queue_capacity
+        self._default_factory = self._resolve(policy)
+        self._stream_factories = {
+            name: self._resolve(p) for name, p in (policy_overrides or {}).items()
+        }
+
+    @staticmethod
+    def _resolve(policy: str | PolicyFactory) -> PolicyFactory:
+        if callable(policy):
+            return policy
+        return make_policy_factory(policy)
+
+    def _policy_for(self, stream: str) -> PolicyFactory:
+        return self._stream_factories.get(stream, self._default_factory)
+
+    def run(self) -> RunMetrics:
+        """Execute one unit of work; blocks until all copies finish.
+
+        Equivalent to ``run_cycles([None])[0]`` — a single work cycle with
+        no unit-of-work descriptor.
+        """
+        return self.run_cycles([None])[0]
+
+    def run_cycles(self, uows: "list[Any]") -> list[RunMetrics]:
+        """Run consecutive units of work through *persistent* filter copies.
+
+        This is the paper's work-cycle protocol (Section 2): each filter
+        copy is instantiated once, then for every unit of work the service
+        calls ``init`` -> ``handle``/``flush`` -> ``finalize`` on the same
+        instance.  ``uows`` supplies one descriptor per cycle, visible to
+        filters as ``ctx.uow`` (e.g. ``{"timestep": 3}`` or a camera).
+        Cycles pipeline: a producer may start cycle k+1 while a downstream
+        copy still drains cycle k.
+
+        Returns one :class:`RunMetrics` per unit of work; each makespan is
+        the wall time from launch until that cycle's last copy finished.
+        """
+        if not uows:
+            raise EngineError("run_cycles() needs at least one unit of work")
+        ncycles = len(uows)
+        metrics_list = [RunMetrics() for _ in uows]
+        t_start = time.perf_counter()
+
+        # Per-cycle queues, pre-created so cycles pipeline without barriers.
+        copysets: dict[str, list[list[_CopySetQueue]]] = {}
+        copyset_hosts: dict[str, list[str]] = {}
+        for name, spec in self.graph.filters.items():
+            expected = sum(
+                self.placement.total_copies(s.src) for s in spec.inputs
+            )
+            sets, hosts = [], []
+            for cs in self.placement.copysets(name):
+                sets.append(
+                    [
+                        _CopySetQueue(cs.copies, expected, self.queue_capacity)
+                        for _ in range(ncycles)
+                    ]
+                )
+                hosts.append(cs.host)
+            copysets[name] = sets
+            copyset_hosts[name] = hosts
+
+        # Per-cycle completion bookkeeping.
+        total_copies_all = sum(
+            self.placement.total_copies(name) for name in self.graph.filters
+        )
+        remaining = [total_copies_all] * ncycles
+        finish_lock = threading.Lock()
+        finished_at = [0.0] * ncycles
+
+        threads: list[threading.Thread] = []
+        errors: list[BaseException] = []
+        results_lock = threading.Lock()
+
+        def copy_cycles(spec, host, copy_index, copies_on_host, total, set_idx):
+            # A failure in one cycle is recorded and the remaining cycles
+            # still announce end-of-work, so downstream copies never block
+            # on a producer that died (run_cycles re-raises afterwards).
+            try:
+                instance: Filter = spec.factory()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+                instance = None
+            for k, uow in enumerate(uows):
+                metrics = metrics_list[k]
+                announced = False
+                try:
+                    if instance is None:
+                        raise EngineError(f"filter {spec.name!r} failed to build")
+                    writers = {
+                        st.name: _Writer(
+                            host,
+                            self._policy_for(st.name)(),
+                            [sets[k] for sets in copysets[st.dst]],
+                            copyset_hosts[st.dst],
+                        )
+                        for st in spec.outputs
+                    }
+                    with results_lock:
+                        stats = metrics.new_copy(spec.name, host, copy_index)
+
+                    def write_fn(stream, buffer, _w=None):
+                        target = writers[stream].send(_Envelope(buffer, stream))
+                        stats.buffers_out += 1
+                        with results_lock:
+                            metrics.streams[stream].record(
+                                host, target.host, buffer.nbytes
+                            )
+
+                    ctx = FilterContext(
+                        filter_name=spec.name,
+                        host=host,
+                        copy_index=copy_index,
+                        copies_on_host=copies_on_host,
+                        total_copies=total,
+                        output_streams=[st.name for st in spec.outputs],
+                        write_fn=write_fn,
+                        uow=uow,
+                    )
+                    instance.init(ctx)
+                    busy = 0.0
+                    my_queue = copysets[spec.name][set_idx][k]
+                    if spec.inputs:
+                        while True:
+                            item = my_queue.queue.get()
+                            if item is _STOP:
+                                break
+                            envelope: _Envelope = item
+                            stats.buffers_in += 1
+                            if envelope.writer is not None:
+                                with results_lock:
+                                    metrics.ack_messages += 1
+                                envelope.writer.deliver_ack(envelope.target)
+                            t0 = time.perf_counter()
+                            instance.handle(ctx, envelope.buffer)
+                            busy += time.perf_counter() - t0
+                    t0 = time.perf_counter()
+                    instance.flush(ctx)
+                    busy += time.perf_counter() - t0
+                    stats.busy_time = busy
+                    instance.finalize(ctx)
+                    for st in spec.outputs:
+                        for sets in copysets[st.dst]:
+                            sets[k].producer_finished()
+                    announced = True
+                    if not spec.outputs:
+                        value = getattr(instance, "result", lambda: None)()
+                        if value is not None:
+                            with results_lock:
+                                if metrics.result is None:
+                                    metrics.result = value
+                                elif isinstance(metrics.result, list):
+                                    metrics.result.append(value)
+                                else:
+                                    metrics.result = [metrics.result, value]
+                except BaseException as exc:  # noqa: BLE001 - surfaced later
+                    errors.append(exc)
+                    # Drain this cycle's queue up to our stop marker so
+                    # upstream puts never block on a dead consumer (every
+                    # producer eventually announces end-of-work, even when
+                    # it failed, so the marker is guaranteed to arrive).
+                    if spec.inputs:
+                        my_queue = copysets[spec.name][set_idx][k]
+                        while True:
+                            item = my_queue.queue.get()
+                            if item is _STOP:
+                                break
+                            # Acknowledge discarded buffers so DD windows
+                            # upstream keep moving.
+                            if item.writer is not None:
+                                item.writer.deliver_ack(item.target)
+                finally:
+                    if not announced:
+                        for st in spec.outputs:
+                            for sets in copysets[st.dst]:
+                                try:
+                                    sets[k].producer_finished()
+                                except BaseException:
+                                    pass
+                    with finish_lock:
+                        remaining[k] -= 1
+                        if remaining[k] == 0:
+                            finished_at[k] = time.perf_counter()
+
+        for name, spec in self.graph.filters.items():
+            total = self.placement.total_copies(name)
+            for set_idx, cs in enumerate(self.placement.copysets(name)):
+                for copy_index in range(cs.copies):
+                    thread = threading.Thread(
+                        target=copy_cycles,
+                        args=(spec, cs.host, copy_index, cs.copies, total, set_idx),
+                        name=f"{name}@{cs.host}#{copy_index}*",
+                        daemon=True,
+                    )
+                    threads.append(thread)
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise EngineError(f"filter copy failed: {errors[0]!r}") from errors[0]
+        for k, metrics in enumerate(metrics_list):
+            metrics.makespan = finished_at[k] - t_start
+        return metrics_list

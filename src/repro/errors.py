@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event simulation kernel."""
+
+
+class Interrupt(SimulationError):
+    """Raised inside a simulated process that has been interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.kernel.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class GraphError(ReproError):
+    """Errors in filter-graph construction or validation."""
+
+
+class PlacementError(ReproError):
+    """Errors in mapping filters (or their copies) to hosts."""
+
+
+class StreamClosedError(ReproError):
+    """Raised when writing to a stream whose consumers have all finished."""
+
+
+class EngineError(ReproError):
+    """Errors raised by an execution engine while running a filter graph."""
+
+
+class DataError(ReproError):
+    """Errors in dataset generation, chunking, or declustering."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid user-supplied configuration (cluster, policy, experiment)."""

@@ -1,0 +1,11 @@
+"""Experiment generators: one module per table/figure in the paper.
+
+Each module exposes ``run(scale=..., ...) -> ResultTable`` and a ``main()``
+that prints it; ``python -m repro.experiments`` runs the whole evaluation
+section.  See DESIGN.md for the per-experiment index and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.experiments.common import ResultTable, mean, run_datacutter
+
+__all__ = ["ResultTable", "mean", "run_datacutter"]

@@ -1,0 +1,105 @@
+"""Extension — cross-engine validation report.
+
+The trust argument for the simulation substrate, as a runnable artifact:
+render one small dataset through the *real* threaded pipeline and replay
+the same scenario through the *simulated* engine, then report where the two
+agree exactly (deterministic byte totals) and where the simulation is a
+calibrated estimate (active-pixel volume, timings).
+
+Also checks the paper's output-consistency requirement: every
+configuration, algorithm and copy count must produce the same image.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.data.parssim import ParSSimDataset
+from repro.data.storage import HostDisks, StorageMap
+from repro.engines.simulated import SimulatedEngine
+from repro.engines.threaded import ThreadedEngine
+from repro.experiments.common import ResultTable
+from repro.sim.cluster import homogeneous_cluster
+from repro.sim.kernel import Environment
+from repro.viz.app import IsosurfaceApp
+from repro.viz.profile import DatasetProfile
+
+__all__ = ["run"]
+
+
+def _image_digest(image) -> str:
+    return hashlib.sha256(image.tobytes()).hexdigest()[:12]
+
+
+def run(grid: int = 17, image: int = 64, isovalue: float = 0.35) -> ResultTable:
+    """Render and replay one scenario; report agreement per quantity."""
+    dataset = ParSSimDataset((grid, grid, grid), timesteps=1, species=1, seed=17)
+    profile = DatasetProfile.measured(
+        "validation", dataset, nchunks=8, nfiles=4, isovalue=isovalue
+    )
+    table = ResultTable(
+        f"Extension: cross-engine validation, {grid}^3 grid, "
+        f"{image}^2 image, iso={isovalue}",
+        ["quantity", "threaded", "simulated", "agreement"],
+    )
+
+    digests = {}
+    for algorithm in ("zbuffer", "active"):
+        # Real pipeline.
+        storage = StorageMap.balanced(profile.files, [HostDisks("node0")])
+        app = IsosurfaceApp(
+            profile, storage, width=image, height=image, algorithm=algorithm,
+            dataset=dataset, isovalue=isovalue,
+        )
+        real = ThreadedEngine(
+            app.graph("R-E-Ra-M"), app.placement("R-E-Ra-M")
+        ).run()
+        digests[algorithm] = _image_digest(real.result.image)
+        # Simulated replay.
+        env = Environment()
+        cluster = homogeneous_cluster(env, nodes=1)
+        storage = StorageMap.balanced(profile.files, [HostDisks("node0", 2)])
+        sim_app = IsosurfaceApp(
+            profile, storage, width=image, height=image, algorithm=algorithm
+        )
+        sim = SimulatedEngine(
+            cluster, sim_app.graph("R-E-Ra-M"), sim_app.placement("R-E-Ra-M"),
+            policy="RR",
+        ).run()
+        for stream, label in (
+            ("R->E", "voxel bytes"),
+            ("E->Ra", "triangle bytes"),
+            ("Ra->M", "merge bytes"),
+        ):
+            t_bytes = real.stream_totals(stream)[1]
+            s_bytes = sim.stream_totals(stream)[1]
+            exact = t_bytes == s_bytes
+            table.add(
+                quantity=f"{algorithm}: {label}",
+                threaded=t_bytes,
+                simulated=s_bytes,
+                agreement="exact" if exact else
+                f"estimate ({s_bytes / max(t_bytes, 1):.2f}x)",
+            )
+
+    table.add(
+        quantity="image digest (zbuffer vs active)",
+        threaded=digests["zbuffer"],
+        simulated=digests["active"],
+        agreement="exact" if digests["zbuffer"] == digests["active"]
+        else "MISMATCH",
+    )
+    table.notes.append(
+        "voxel/triangle/zbuffer-merge bytes are exact across engines; the "
+        "active-pixel merge volume is a fragments-per-triangle estimate"
+    )
+    return table
+
+
+def main() -> None:
+    """Print this experiment's table."""
+    print(run().format())
+
+
+if __name__ == "__main__":
+    main()

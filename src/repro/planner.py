@@ -1,0 +1,202 @@
+"""Automatic placement: the paper's "automate some of these steps".
+
+Section 2's footnote: "We are in the process of examining various
+mechanisms to automate some of these steps" — the steps being (1) the
+decomposition into filters, (2) placement on hosts, and (3) how many
+transparent copies to run.  This module automates (2) and (3) for a given
+decomposition:
+
+1. estimate each filter's total CPU work for one unit of work from the
+   dataset profile and the calibrated cost constants (the same arithmetic
+   the simulated models charge);
+2. pin source filters to the hosts holding their data, one copy per local
+   disk (keeps every spindle busy);
+3. give the *bottleneck* worker filter one copy per core on every compute
+   host (the paper's manual choice for Raster), lighter workers one copy
+   per host;
+4. run the single Merge copy on the fastest compute host;
+5. verify the result against host RAM with the engine's memory audit and
+   shed copies from oversubscribed hosts until the estimate fits.
+
+`auto_place` returns the placement plus the evidence behind it
+(:class:`PlacementAdvice`), so callers can inspect or override.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.graph import FilterGraph
+from repro.core.placement import Placement
+from repro.errors import PlacementError
+from repro.sim.cluster import Cluster
+from repro.viz.app import IsosurfaceApp
+from repro.viz.raster import ZBUFFER_ENTRY_BYTES
+
+__all__ = ["PlacementAdvice", "estimate_filter_seconds", "auto_place"]
+
+
+@dataclass
+class PlacementAdvice:
+    """An automatic placement and the reasoning that produced it."""
+
+    placement: Placement
+    estimates: dict[str, float]  # filter -> reference core-seconds
+    bottleneck: str
+    merge_host: str
+    notes: list[str] = field(default_factory=list)
+
+
+def estimate_filter_seconds(
+    app: IsosurfaceApp, configuration: str
+) -> dict[str, float]:
+    """Per-filter CPU work (reference core-seconds) for one unit of work.
+
+    Uses the same constants the simulated models charge, summed over the
+    whole timestep, so the estimate matches what the engine will replay.
+    """
+    profile = app.profile
+    costs = app.costs
+    t = app.timestep
+    total_bytes = profile.bytes_per_timestep
+    total_voxels = sum(c.points for c in profile.chunks)
+    tris = profile.total_triangles(t)
+    frags = tris * costs.fragments_per_triangle(app.width, app.height)
+    entries = frags * costs.ap_entry_ratio
+    pixels = app.width * app.height
+
+    read = total_bytes * costs.read_per_byte
+    extract = total_voxels * costs.extract_per_voxel + tris * costs.extract_per_triangle
+    raster = tris * costs.raster_per_triangle + frags * costs.raster_per_fragment
+    if app.algorithm == "active":
+        raster += entries * costs.ap_per_entry
+        merge = entries * costs.merge_ap_per_entry
+    else:
+        raster += pixels * ZBUFFER_ENTRY_BYTES * costs.zb_send_per_byte
+        merge = pixels * costs.merge_zb_per_entry
+
+    by_stage = {"R": read, "E": extract, "Ra": raster, "M": merge}
+    composed = {
+        "RE": read + extract,
+        "ERa": extract + raster,
+        "RERa": read + extract + raster,
+    }
+    graph = app.graph(configuration)
+    estimates = {}
+    for name in graph.filters:
+        if name in by_stage:
+            estimates[name] = by_stage[name]
+        elif name in composed:
+            estimates[name] = composed[name]
+        else:  # pragma: no cover - unknown custom filter
+            estimates[name] = 0.0
+    return estimates
+
+
+def auto_place(
+    app: IsosurfaceApp,
+    configuration: str,
+    cluster: Cluster,
+    compute_hosts: list[str] | None = None,
+    respect_memory: bool = True,
+) -> PlacementAdvice:
+    """Derive a placement for ``configuration`` on ``cluster``.
+
+    ``compute_hosts`` limits where worker filters (and Merge) may run;
+    default is every host holding data.  Raises
+    :class:`~repro.errors.PlacementError` when the storage map references
+    hosts the cluster does not have.
+    """
+    graph: FilterGraph = app.graph(configuration)
+    data_hosts = app.storage.hosts()
+    if not data_hosts:
+        raise PlacementError("storage map is empty")
+    for host in data_hosts:
+        if host not in cluster.hosts:
+            raise PlacementError(f"data on unknown host {host!r}")
+    compute_hosts = list(compute_hosts or data_hosts)
+    estimates = estimate_filter_seconds(app, configuration)
+
+    workers = [
+        spec.name
+        for spec in graph.filters.values()
+        if not spec.is_source and spec.outputs  # neither source nor sink
+    ]
+    sinks = [spec.name for spec in graph.filters.values() if not spec.outputs]
+    bottleneck = max(
+        workers or sinks, key=lambda name: estimates.get(name, 0.0)
+    )
+    # Fastest compute host gets the Merge copy (it also receives every
+    # pixel buffer, so give it the best CPU).
+    merge_host = max(
+        compute_hosts, key=lambda h: cluster.host(h).cores * cluster.host(h).speed
+    )
+
+    advice = PlacementAdvice(
+        Placement(), estimates, bottleneck, merge_host,
+    )
+    placement = advice.placement
+    for spec in graph.filters.values():
+        if spec.is_source:
+            # One copy per local disk keeps every spindle streaming.
+            placement.place(
+                spec.name,
+                [
+                    (h, max(1, len(cluster.host(h).disks)))
+                    for h in data_hosts
+                ],
+            )
+        elif spec.name in sinks:
+            placement.place(spec.name, [merge_host])
+        elif spec.name == bottleneck:
+            placement.place(
+                spec.name,
+                [(h, cluster.host(h).cores) for h in compute_hosts],
+            )
+            advice.notes.append(
+                f"{spec.name} is the bottleneck "
+                f"({estimates[spec.name]:.2f}s): one copy per core"
+            )
+        else:
+            placement.spread(spec.name, compute_hosts)
+
+    if respect_memory:
+        _shed_for_memory(app, graph, cluster, advice)
+    return advice
+
+
+def _shed_for_memory(
+    app: IsosurfaceApp,
+    graph: FilterGraph,
+    cluster: Cluster,
+    advice: PlacementAdvice,
+) -> None:
+    """Reduce bottleneck copies on hosts the memory audit flags."""
+    from repro.engines.simulated import SimulatedEngine
+
+    bottleneck = advice.bottleneck
+    for _round in range(16):
+        engine = SimulatedEngine(cluster, graph, advice.placement)
+        over = engine.oversubscribed_hosts()
+        if not over:
+            return
+        shrunk = False
+        current = {
+            cs.host: cs.copies
+            for cs in advice.placement.copysets(bottleneck)
+        }
+        for host in over:
+            if current.get(host, 1) > 1:
+                current[host] -= 1
+                shrunk = True
+                advice.notes.append(
+                    f"reduced {bottleneck} copies on {host} to "
+                    f"{current[host]} (memory audit)"
+                )
+        if not shrunk:
+            advice.notes.append(
+                f"hosts {over} remain over their RAM estimate with minimal "
+                f"copies; placement kept"
+            )
+            return
+        advice.placement.place(bottleneck, list(current.items()))

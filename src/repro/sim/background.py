@@ -1,0 +1,72 @@
+"""Background-load workloads for the heterogeneity experiments.
+
+The paper loads a subset of nodes with user-level jobs that "consume CPU
+time, at the same priority as the filter code".  The processor-sharing CPU
+model represents those directly as phantom runnable tasks; this module adds
+the experiment-facing helpers: static load application and a phased schedule
+for time-varying load (used by extension benches).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator, Sequence
+from dataclasses import dataclass
+
+from repro.sim.cluster import Cluster
+from repro.sim.kernel import Environment, Event, Process
+
+__all__ = ["LoadPhase", "apply_background_load", "scheduled_background_load"]
+
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """One step of a time-varying load schedule.
+
+    ``duration`` seconds with ``jobs`` background jobs per affected host.
+    """
+
+    duration: float
+    jobs: int
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError(f"phase duration must be >= 0, got {self.duration}")
+        if self.jobs < 0:
+            raise ValueError(f"phase jobs must be >= 0, got {self.jobs}")
+
+
+def apply_background_load(
+    cluster: Cluster, jobs: int, hosts: Sequence[str]
+) -> None:
+    """Immediately set ``jobs`` background jobs on each of ``hosts``."""
+    for name in hosts:
+        cluster.host(name).set_background_load(jobs)
+
+
+def scheduled_background_load(
+    env: Environment,
+    cluster: Cluster,
+    hosts: Sequence[str],
+    phases: Sequence[LoadPhase],
+    repeat: bool = False,
+) -> Process:
+    """Drive hosts through a phase schedule; returns the driver process.
+
+    With ``repeat=True`` the schedule loops until the simulation ends (the
+    process then never finishes; it simply stops mattering once no other
+    events remain, because timers keep the run alive only until ``until``).
+    """
+    if repeat and not any(p.duration > 0 for p in phases):
+        raise ValueError("repeating schedule must have positive total duration")
+
+    def driver() -> Generator[Event, None, None]:
+        while True:
+            for phase in phases:
+                apply_background_load(cluster, phase.jobs, hosts)
+                if phase.duration > 0:
+                    yield env.timeout(phase.duration)
+            if not repeat:
+                apply_background_load(cluster, 0, hosts)
+                return
+
+    return env.process(driver(), name="background-load")

@@ -1,0 +1,163 @@
+"""Processor-sharing multi-core CPU model.
+
+The paper's heterogeneity experiments hinge on equal-priority background
+jobs competing with filter work for CPU time.  This module models a host CPU
+as an egalitarian processor-sharing server: with ``n`` runnable tasks on
+``c`` cores, every task advances at ``speed * min(1, c / n)`` reference
+seconds per second.  That is exactly the long-run behaviour of a fair OS
+scheduler with equal-priority CPU-bound tasks, without simulating individual
+quanta.
+
+Work is expressed in *reference core-seconds*: one unit equals one second of
+exclusive execution on a reference host (``speed == 1.0``, the paper's Rogue
+nodes).  Faster/slower hosts scale via ``speed``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["ProcessorSharingCPU"]
+
+# Remaining work at or below this is treated as complete (absolute, in
+# reference core-seconds; task sizes in this library are >= microseconds).
+_EPS = 1e-9
+
+
+class _Task:
+    __slots__ = ("remaining", "total", "event")
+
+    def __init__(self, remaining: float, event: Event):
+        self.remaining = remaining
+        self.total = remaining
+        self.event = event
+
+
+class ProcessorSharingCPU:
+    """A multi-core CPU shared fairly among runnable tasks.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    cores:
+        Number of cores.
+    speed:
+        Relative speed of one core versus the reference host (1.0 = Rogue
+        PIII-650 in the paper's testbed).
+    name:
+        Label for diagnostics.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cores: int,
+        speed: float = 1.0,
+        name: str = "cpu",
+    ):
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        if speed <= 0:
+            raise ValueError(f"speed must be > 0, got {speed}")
+        self.env = env
+        self.cores = cores
+        self.speed = speed
+        self.name = name
+        self._tasks: list[_Task] = []
+        self._background = 0
+        self._last = env.now
+        self._task_rate = 0.0  # rate per task at the moment of last settle
+        self._epoch = 0
+        # Statistics.
+        self.work_completed = 0.0  # reference core-seconds of real tasks
+        self.tasks_completed = 0
+        self.busy_integral = 0.0  # core-seconds occupied (incl. background)
+
+    # -- public API --------------------------------------------------------
+    @property
+    def background_jobs(self) -> int:
+        """Number of phantom equal-priority CPU-bound background jobs."""
+        return self._background
+
+    @property
+    def active_tasks(self) -> int:
+        """Number of in-flight real tasks (excluding background jobs)."""
+        return len(self._tasks)
+
+    def execute(self, work: float) -> Event:
+        """Run ``work`` reference core-seconds; event fires at completion."""
+        if work < 0:
+            raise SimulationError(f"negative work: {work}")
+        ev = Event(self.env)
+        if work == 0:
+            ev.succeed(None)
+            return ev
+        self._settle()
+        self._tasks.append(_Task(float(work), ev))
+        self._update()
+        return ev
+
+    def set_background_load(self, jobs: int) -> None:
+        """Set the number of competing equal-priority background jobs."""
+        if jobs < 0:
+            raise ValueError(f"background jobs must be >= 0, got {jobs}")
+        if jobs == self._background:
+            return
+        self._settle()
+        self._background = jobs
+        self._update()
+
+    def current_task_rate(self) -> float:
+        """Reference-seconds-per-second each runnable task currently gets."""
+        return self._rate()
+
+    # -- internals -----------------------------------------------------------
+    def _rate(self) -> float:
+        n = len(self._tasks) + self._background
+        if n == 0:
+            return 0.0
+        return self.speed * min(1.0, self.cores / n)
+
+    def _settle(self) -> None:
+        """Account for progress since the last task-set change."""
+        now = self.env.now
+        dt = now - self._last
+        if dt > 0:
+            n = len(self._tasks) + self._background
+            if self._task_rate > 0:
+                for task in self._tasks:
+                    task.remaining -= dt * self._task_rate
+            if n:
+                self.busy_integral += dt * min(self.cores, n)
+        self._last = now
+
+    def _update(self) -> None:
+        """Complete finished tasks, recompute rates, schedule next wake."""
+        finished = [t for t in self._tasks if t.remaining <= _EPS]
+        if finished:
+            self._tasks = [t for t in self._tasks if t.remaining > _EPS]
+            for task in finished:
+                self.tasks_completed += 1
+                self.work_completed += task.total
+                task.event.succeed(None)
+            # Completions changed the share; recompute before scheduling.
+        self._task_rate = self._rate()
+        self._epoch += 1
+        if not self._tasks:
+            return
+        horizon = min(t.remaining for t in self._tasks) / self._task_rate
+        epoch = self._epoch
+        timer = self.env.timeout(max(horizon, 0.0))
+        timer.callbacks.append(lambda _ev: self._tick(epoch))
+
+    def _tick(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # a newer task-set change superseded this wake-up
+        before = len(self._tasks)
+        self._settle()
+        done = sum(1 for t in self._tasks if t.remaining <= _EPS)
+        self._update()
+        if before and done == 0:  # pragma: no cover - numeric guard
+            raise SimulationError(f"{self.name}: timer fired but no task finished")

@@ -1,0 +1,97 @@
+"""Simulated host: a named machine with CPU cores, disks, and a NIC.
+
+A :class:`Host` bundles the per-machine resources and offers the two
+operations filter copies need: run CPU work (:meth:`compute`) and read bytes
+from a local disk (:meth:`read_disk`).  Network transfers are issued through
+the owning :class:`repro.sim.cluster.Cluster`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.sim.cpu import ProcessorSharingCPU
+from repro.sim.disk import Disk
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["Host"]
+
+
+class Host:
+    """One machine in the simulated testbed.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Globally unique host name (e.g. ``"rogue3"``).
+    cores / speed:
+        CPU configuration; ``speed`` is relative to the reference host.
+    disks:
+        List of ``(bandwidth_bytes_per_s, seek_seconds)`` tuples.
+    memory:
+        Bytes of RAM (informational; used by admission sanity checks).
+    cluster_name:
+        Name of the cluster this host belongs to (e.g. ``"rogue"``).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        cores: int,
+        speed: float = 1.0,
+        disks: list[tuple[float, float]] | None = None,
+        memory: int = 1 << 30,
+        cluster_name: str = "default",
+    ):
+        self.env = env
+        self.name = name
+        self.cluster_name = cluster_name
+        self.memory = memory
+        self.cpu = ProcessorSharingCPU(env, cores=cores, speed=speed, name=f"{name}.cpu")
+        self.disks: list[Disk] = [
+            Disk(env, bandwidth=bw, seek_time=seek, name=f"{name}.disk{i}")
+            for i, (bw, seek) in enumerate(disks or [])
+        ]
+
+    @property
+    def cores(self) -> int:
+        """Number of CPU cores."""
+        return self.cpu.cores
+
+    @property
+    def speed(self) -> float:
+        """Relative per-core speed versus the reference host."""
+        return self.cpu.speed
+
+    def compute(self, work: float) -> Event:
+        """Execute ``work`` reference core-seconds on this host's CPU."""
+        return self.cpu.execute(work)
+
+    def read_disk(
+        self, nbytes: int, disk_index: int = 0, sequential: bool = False
+    ) -> Event:
+        """Read ``nbytes`` from local disk ``disk_index``.
+
+        ``sequential=True`` skips the seek (continuation of the previous
+        read on that disk).
+        """
+        if not self.disks:
+            raise ConfigurationError(f"host {self.name!r} has no disks")
+        if not 0 <= disk_index < len(self.disks):
+            raise ConfigurationError(
+                f"host {self.name!r} has no disk {disk_index} "
+                f"(has {len(self.disks)})"
+            )
+        return self.disks[disk_index].read(nbytes, sequential=sequential)
+
+    def set_background_load(self, jobs: int) -> None:
+        """Run ``jobs`` equal-priority CPU-bound background jobs on this host."""
+        self.cpu.set_background_load(jobs)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Host {self.name} {self.cores}x{self.speed:.2f} "
+            f"{len(self.disks)} disk(s)>"
+        )

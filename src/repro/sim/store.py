@@ -1,0 +1,143 @@
+"""Bounded FIFO queues for simulated producer/consumer communication.
+
+:class:`Store` is the simulated analogue of a ``queue.Queue``: producers
+block (in simulated time) when the store is full, consumers block when it is
+empty.  It also supports *closing*: once closed and drained, pending and
+future ``get`` requests fail with :class:`repro.errors.StreamClosedError`,
+which is how end-of-work propagates through simulated filter pipelines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import StreamClosedError
+from repro.sim.kernel import Environment, Event
+
+__all__ = ["Store"]
+
+
+class Store:
+    """A bounded FIFO queue in simulated time.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    capacity:
+        Maximum number of queued items; ``None`` means unbounded.
+    name:
+        Optional label used in error messages.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: int | None = None,
+        name: str = "store",
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+        self._closed = False
+        # Lifetime statistics.
+        self.total_put = 0
+        self.total_got = 0
+        self.peak_occupancy = 0
+
+    # -- inspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def exhausted(self) -> bool:
+        """True if the store is closed and fully drained."""
+        return self._closed and not self._items
+
+    # -- operations ----------------------------------------------------------
+    def put(self, item: Any) -> Event:
+        """Enqueue ``item``; returns an event that fires once accepted."""
+        ev = Event(self.env)
+        if self._closed:
+            ev.fail(StreamClosedError(f"put() on closed store {self.name!r}"))
+            return ev
+        if self._getters:
+            # Hand the item directly to the oldest waiting consumer.
+            getter = self._getters.popleft()
+            self.total_put += 1
+            self.total_got += 1
+            getter.succeed(item)
+            ev.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            self.total_put += 1
+            self.peak_occupancy = max(self.peak_occupancy, len(self._items))
+            ev.succeed(None)
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def get(self) -> Event:
+        """Dequeue one item; returns an event carrying the item.
+
+        Fails with :class:`StreamClosedError` if the store is (or becomes)
+        exhausted before an item is available.
+        """
+        ev = Event(self.env)
+        if self._items:
+            item = self._items.popleft()
+            self.total_got += 1
+            self._admit_putter()
+            ev.succeed(item)
+        elif self._closed:
+            ev.fail(StreamClosedError(f"get() on exhausted store {self.name!r}"))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def close(self) -> None:
+        """Close the store: no further puts; waiting getters fail once empty.
+
+        Items already queued remain retrievable.  Blocked putters fail
+        immediately (their items are dropped) -- in the filter runtime,
+        closing only happens after all producers have finished, so this path
+        indicates a protocol bug and the failure makes it loud.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        while self._putters:
+            ev, _item = self._putters.popleft()
+            ev.fail(StreamClosedError(f"store {self.name!r} closed during put"))
+        if not self._items:
+            while self._getters:
+                self._getters.popleft().fail(
+                    StreamClosedError(f"store {self.name!r} exhausted")
+                )
+
+    # -- internal ------------------------------------------------------------
+    def _admit_putter(self) -> None:
+        if self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            ev, item = self._putters.popleft()
+            self._items.append(item)
+            self.total_put += 1
+            self.peak_occupancy = max(self.peak_occupancy, len(self._items))
+            ev.succeed(None)
+        if self._closed and not self._items:
+            while self._getters:
+                self._getters.popleft().fail(
+                    StreamClosedError(f"store {self.name!r} exhausted")
+                )

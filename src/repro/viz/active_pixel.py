@@ -1,0 +1,183 @@
+"""Active pixel rendering: the sparse z-buffer scheme (paper Section 3.1.2).
+
+Two structures implement hidden-surface removal:
+
+- the **Winning Pixel Array (WPA)** stores the foremost pixels seen so far —
+  screen position, depth, and colour per entry; WPA contents are shipped to
+  the Merge filter in fixed-size buffers;
+- the **Modified Scanline Array (MSA)** indexes the WPA by screen position
+  so a new fragment can find (and depth-test against) the current winning
+  entry for its pixel.
+
+As in the paper, the WPA is emitted *when full or when all triangles of the
+current input buffer have been processed*, so rasterisation and merging
+pipeline freely — no end-of-work synchronisation.  Because the WPA restarts
+after each emission, a pixel can appear in several emitted buffers; the
+Merge filter's depth test resolves those duplicates.
+
+Our MSA generalises the per-scanline array to the whole screen (one index
+slot per pixel) with generation stamps, so clearing between emissions is
+O(1).  The data structure semantics — sparse winning-pixel storage with an
+index — are the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.viz.raster import ZBuffer, triangle_fragments
+
+__all__ = ["WPABuffer", "ActivePixelRaster", "ActivePixelMerger", "WPA_ENTRY_BYTES"]
+
+#: Wire size of one winning-pixel entry: int32 position + float32 depth +
+#: RGBX colour.
+WPA_ENTRY_BYTES = 12
+
+
+@dataclass
+class WPABuffer:
+    """One emitted Winning Pixel Array buffer."""
+
+    pixels: np.ndarray  # (n,) int64 flat screen positions (unique)
+    depth: np.ndarray  # (n,) float32
+    color: np.ndarray  # (n, 3) uint8
+
+    @property
+    def entries(self) -> int:
+        """Number of winning-pixel entries."""
+        return len(self.pixels)
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size of this buffer."""
+        return self.entries * WPA_ENTRY_BYTES
+
+
+class ActivePixelRaster:
+    """Rasterise triangles into WPA buffers.
+
+    Parameters
+    ----------
+    width / height:
+        Screen size.
+    capacity_entries:
+        WPA capacity: emission size of a full buffer.
+    """
+
+    def __init__(self, width: int, height: int, capacity_entries: int = 5461):
+        if width < 1 or height < 1:
+            raise ConfigurationError("screen dimensions must be >= 1")
+        if capacity_entries < 1:
+            raise ConfigurationError("capacity_entries must be >= 1")
+        self.width = width
+        self.height = height
+        self.capacity = capacity_entries
+        npix = width * height
+        self._msa = np.zeros(npix, dtype=np.int64)  # WPA index per pixel
+        self._msa_gen = np.full(npix, -1, dtype=np.int64)
+        self._gen = 0
+        # Open WPA storage (grows geometrically).
+        self._cap = max(1024, capacity_entries)
+        self._pix = np.empty(self._cap, dtype=np.int64)
+        self._depth = np.empty(self._cap, dtype=np.float32)
+        self._color = np.empty((self._cap, 3), dtype=np.uint8)
+        self._count = 0
+        self.fragments_tested = 0
+
+    def process(self, triangles: np.ndarray, colors: np.ndarray) -> list[WPABuffer]:
+        """Rasterise one input buffer's triangles; returns emitted WPA buffers.
+
+        Emits every ``capacity_entries`` full buffer produced while
+        processing, plus the final partial buffer — the WPA is always empty
+        when this method returns.
+        """
+        triangles = np.asarray(triangles)
+        if triangles.size and len(colors) != len(triangles):
+            raise ConfigurationError("one colour per triangle required")
+        for tri, rgb in zip(triangles, colors):
+            pixels, depth = triangle_fragments(tri, self.width, self.height)
+            if pixels.size == 0:
+                continue
+            self.fragments_tested += pixels.size
+            self._add(pixels, depth, rgb)
+        return self._emit()
+
+    # -- internals -----------------------------------------------------------
+    def _add(self, pixels: np.ndarray, depth: np.ndarray, rgb: np.ndarray) -> None:
+        """Depth-test fragments of one triangle against the open WPA."""
+        valid = self._msa_gen[pixels] == self._gen
+        if valid.any():
+            vpix = pixels[valid]
+            vdep = depth[valid]
+            idx = self._msa[vpix]
+            wins = vdep < self._depth[idx]
+            if wins.any():
+                widx = idx[wins]
+                self._depth[widx] = vdep[wins]
+                self._color[widx] = rgb
+        new = ~valid
+        if new.any():
+            npx = pixels[new]
+            ndp = depth[new]
+            n = npx.size
+            self._ensure(self._count + n)
+            sl = slice(self._count, self._count + n)
+            self._pix[sl] = npx
+            self._depth[sl] = ndp.astype(np.float32)
+            self._color[sl] = rgb
+            self._msa[npx] = np.arange(self._count, self._count + n)
+            self._msa_gen[npx] = self._gen
+            self._count += n
+
+    def _ensure(self, needed: int) -> None:
+        if needed <= self._cap:
+            return
+        while self._cap < needed:
+            self._cap *= 2
+        self._pix = np.resize(self._pix, self._cap)
+        self._depth = np.resize(self._depth, self._cap)
+        color = np.empty((self._cap, 3), dtype=np.uint8)
+        color[: len(self._color)] = self._color
+        self._color = color
+
+    def _emit(self) -> list[WPABuffer]:
+        """Slice the open WPA into capacity-sized buffers and restart it."""
+        out: list[WPABuffer] = []
+        for start in range(0, self._count, self.capacity):
+            stop = min(start + self.capacity, self._count)
+            out.append(
+                WPABuffer(
+                    self._pix[start:stop].copy(),
+                    self._depth[start:stop].copy(),
+                    self._color[start:stop].copy(),
+                )
+            )
+        self._count = 0
+        self._gen += 1
+        return out
+
+
+class ActivePixelMerger:
+    """Merge-side depth compositing of WPA buffers into the final image."""
+
+    def __init__(self, width: int, height: int):
+        self._zbuf = ZBuffer(width, height)
+        self.buffers_merged = 0
+        self.entries_merged = 0
+
+    def merge(self, buffer: WPABuffer) -> None:
+        """Depth-test one WPA buffer's entries into the image."""
+        self._zbuf.merge_entries(buffer.pixels, buffer.depth, buffer.color)
+        self.buffers_merged += 1
+        self.entries_merged += buffer.entries
+
+    def image(self) -> np.ndarray:
+        """The composited colour image, (height, width, 3) uint8."""
+        return self._zbuf.image()
+
+    def active_pixels(self) -> int:
+        """Pixels covered by at least one merged entry."""
+        return self._zbuf.active_pixels()

@@ -1,0 +1,365 @@
+"""Isosurface application builder: filter graphs for every configuration.
+
+:class:`IsosurfaceApp` assembles the paper's four decompositions
+(Figure 2b / Figure 3) as :class:`~repro.core.graph.FilterGraph` objects:
+
+- ``R-E-Ra-M``  — all four filters separate (baseline, Tables 1-2);
+- ``RE-Ra-M``   — read+extract combined (the usual best performer);
+- ``R-ERa-M``   — extract+raster combined (decouples retrieval);
+- ``RERa-M``    — everything but merge combined (SPMD-like).
+
+Each graph carries *simulated* factories (cost models over a
+:class:`~repro.viz.profile.DatasetProfile`) and, when a real
+:class:`~repro.data.parssim.ParSSimDataset` is supplied, *real* factories
+too — so the same graph runs on either engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.graph import FilterGraph
+from repro.core.negotiate import declare_bounds, negotiate
+from repro.core.placement import Placement
+from repro.data.storage import StorageMap
+from repro.errors import ConfigurationError
+from repro.viz.camera import Camera
+from repro.viz import filters as real
+from repro.viz import models as sim
+from repro.viz.models import BufferSizes, CostParams
+from repro.viz.profile import DatasetProfile
+
+__all__ = ["IsosurfaceApp", "CONFIGURATIONS"]
+
+CONFIGURATIONS = ("R-E-Ra-M", "RE-Ra-M", "R-ERa-M", "RERa-M")
+
+
+@dataclass
+class IsosurfaceApp:
+    """One rendering scenario: dataset + storage + view + algorithm.
+
+    Parameters
+    ----------
+    profile:
+        Dataset description for the simulated engine.
+    storage:
+        File -> (host, disk) placement; source filters read from it.
+    width / height:
+        Output image size (the paper uses 512^2 and 2048^2).
+    algorithm:
+        ``"zbuffer"`` or ``"active"``.
+    timestep:
+        Which stored timestep to render.
+    costs / buffers:
+        Cost-model calibration and stream buffer sizes.
+    dataset / isovalue:
+        Optional real dataset enabling threaded execution: any object with
+        ``chunk_field(chunk, timestep, species)`` — the synthetic
+        generators or an on-disk :class:`~repro.data.diskstore.
+        DeclusteredStore`.  ``isovalue`` is the rendered surface level.
+    """
+
+    profile: DatasetProfile
+    storage: StorageMap
+    width: int = 2048
+    height: int = 2048
+    algorithm: str = "active"
+    timestep: int = 0
+    costs: CostParams = field(default_factory=CostParams)
+    buffers: BufferSizes = field(default_factory=BufferSizes)
+    #: any chunk_field(chunk, t, s) provider; typed loosely on purpose
+    dataset: object | None = None
+    isovalue: float = 0.5
+    #: Optional explicit camera (e.g. an animation frame's viewpoint);
+    #: ``None`` means a default camera framing the whole grid.
+    view: Camera | None = None
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("zbuffer", "active"):
+            raise ConfigurationError(
+                f"algorithm must be 'zbuffer' or 'active', got {self.algorithm!r}"
+            )
+        if not 0 <= self.timestep < self.profile.timesteps:
+            raise ConfigurationError(
+                f"timestep {self.timestep} outside [0, {self.profile.timesteps})"
+            )
+
+    # -- real-mode helpers -------------------------------------------------
+    def camera(self) -> Camera:
+        """The rendering camera: ``view`` if given, else a fitted default."""
+        if self.view is not None:
+            return self.view
+        return Camera.fit_grid(
+            self.profile.grid_shape, width=self.width, height=self.height
+        )
+
+    def _require_dataset(self):
+        if self.dataset is None:
+            raise ConfigurationError(
+                "real factories need a dataset (a chunk_field provider); "
+                "this app is simulation-only"
+            )
+        return self.dataset
+
+    # -- graph builders ------------------------------------------------------
+    def graph(self, configuration: str) -> FilterGraph:
+        """Build the filter graph for one of :data:`CONFIGURATIONS`."""
+        if configuration not in CONFIGURATIONS:
+            raise ConfigurationError(
+                f"unknown configuration {configuration!r}; "
+                f"choose from {CONFIGURATIONS}"
+            )
+        builder = {
+            "R-E-Ra-M": self._graph_r_e_ra_m,
+            "RE-Ra-M": self._graph_re_ra_m,
+            "R-ERa-M": self._graph_r_era_m,
+            "RERa-M": self._graph_rera_m,
+        }[configuration]
+        return builder()
+
+    def _merge_factories(self):
+        sim_factory = lambda: sim.MergeModel(  # noqa: E731
+            self.costs, self.algorithm, self.width, self.height
+        )
+        if self.algorithm == "zbuffer":
+            real_factory = lambda: real.MergeZFilter(self.width, self.height)  # noqa: E731
+        else:
+            real_factory = lambda: real.MergeAPFilter(self.width, self.height)  # noqa: E731
+        return real_factory, sim_factory
+
+    def _raster_factories(self, buffers: BufferSizes):
+        if self.algorithm == "zbuffer":
+            sim_factory = lambda: sim.RasterZBModel(  # noqa: E731
+                self.costs, buffers, self.width, self.height
+            )
+            real_factory = lambda: real.RasterZFilter(self.camera())  # noqa: E731
+        else:
+            sim_factory = lambda: sim.RasterAPModel(  # noqa: E731
+                self.costs, buffers, self.width, self.height
+            )
+            real_factory = lambda: real.RasterAPFilter(self.camera())  # noqa: E731
+        return real_factory, sim_factory
+
+    def _real_or_none(self, factory):
+        return factory if self.dataset is not None else None
+
+    #: protocol floor every producer discloses as its minimum buffer size
+    _MIN_BUFFER = 16 * 1024
+
+    def _negotiate(self, graph: FilterGraph, roles: dict[str, str]) -> BufferSizes:
+        """Run the paper's buffer-size negotiation over ``graph``.
+
+        ``roles`` maps each stream to the buffer knob it carries (``read``/
+        ``triangles``/``merge``).  Producers disclose a protocol-floor
+        minimum; consumers disclose this app's requested size as their
+        minimum; the z-buffer raster pins its merge stream to fixed slabs
+        (min == max).  The negotiated sizes feed the simulated models.
+        """
+        merge_size = (
+            self.buffers.zbuffer_slab
+            if self.algorithm == "zbuffer"
+            else self.buffers.wpa
+        )
+        requested = {
+            "read": self.buffers.read,
+            "triangles": self.buffers.triangles,
+            "merge": merge_size,
+        }
+        for stream, role in roles.items():
+            spec = graph.streams[stream]
+            want = requested[role]
+            if role == "merge" and self.algorithm == "zbuffer":
+                # Fixed-size slabs: the raster serialises the whole buffer.
+                declare_bounds(graph, spec.src, stream, want, want)
+            else:
+                declare_bounds(graph, spec.src, stream, self._MIN_BUFFER)
+            declare_bounds(graph, spec.dst, stream, want)
+        sizes = negotiate(graph, default=self._MIN_BUFFER)
+        by_role = {roles[stream]: size for stream, size in sizes.items()}
+        return BufferSizes(
+            read=by_role.get("read", self.buffers.read),
+            triangles=by_role.get("triangles", self.buffers.triangles),
+            zbuffer_slab=(
+                by_role["merge"]
+                if self.algorithm == "zbuffer" and "merge" in by_role
+                else self.buffers.zbuffer_slab
+            ),
+            wpa=(
+                by_role["merge"]
+                if self.algorithm == "active" and "merge" in by_role
+                else self.buffers.wpa
+            ),
+        )
+
+    def _graph_r_e_ra_m(self) -> FilterGraph:
+        g = FilterGraph()
+        g.add_filter(
+            "R",
+            factory=self._real_or_none(
+                lambda: real.ReadFilter(
+                    self._require_dataset(), self.storage, self.timestep
+                )
+            ),
+            is_source=True,
+        )
+        g.add_filter(
+            "E",
+            factory=self._real_or_none(lambda: real.ExtractFilter(self.isovalue)),
+        )
+        g.add_filter("Ra")
+        g.add_filter("M")
+        g.connect("R", "E")
+        g.connect("E", "Ra")
+        g.connect("Ra", "M")
+        eff = self._negotiate(
+            g, {"R->E": "read", "E->Ra": "triangles", "Ra->M": "merge"}
+        )
+        g.filters["R"].sim_factory = lambda: sim.ReadSourceModel(
+            self.profile, self.storage, self.timestep, self.costs, eff
+        )
+        g.filters["E"].sim_factory = lambda: sim.ExtractModel(self.costs, eff)
+        real_ra, sim_ra = self._raster_factories(eff)
+        g.filters["Ra"].factory = self._real_or_none(real_ra)
+        g.filters["Ra"].sim_factory = sim_ra
+        real_m, sim_m = self._merge_factories()
+        g.filters["M"].factory = self._real_or_none(real_m)
+        g.filters["M"].sim_factory = sim_m
+        return g
+
+    def _graph_re_ra_m(self) -> FilterGraph:
+        g = FilterGraph()
+        g.add_filter(
+            "RE",
+            factory=self._real_or_none(
+                lambda: real.ReadExtractFilter(
+                    self._require_dataset(),
+                    self.storage,
+                    self.timestep,
+                    self.isovalue,
+                )
+            ),
+            is_source=True,
+        )
+        g.add_filter("Ra")
+        g.add_filter("M")
+        g.connect("RE", "Ra")
+        g.connect("Ra", "M")
+        eff = self._negotiate(g, {"RE->Ra": "triangles", "Ra->M": "merge"})
+        g.filters["RE"].sim_factory = lambda: sim.ReadExtractSourceModel(
+            self.profile, self.storage, self.timestep, self.costs, eff
+        )
+        real_ra, sim_ra = self._raster_factories(eff)
+        g.filters["Ra"].factory = self._real_or_none(real_ra)
+        g.filters["Ra"].sim_factory = sim_ra
+        real_m, sim_m = self._merge_factories()
+        g.filters["M"].factory = self._real_or_none(real_m)
+        g.filters["M"].sim_factory = sim_m
+        return g
+
+    def _graph_r_era_m(self) -> FilterGraph:
+        g = FilterGraph()
+        g.add_filter(
+            "R",
+            factory=self._real_or_none(
+                lambda: real.ReadFilter(
+                    self._require_dataset(), self.storage, self.timestep
+                )
+            ),
+            is_source=True,
+        )
+        g.add_filter(
+            "ERa",
+            factory=self._real_or_none(
+                lambda: real.ExtractRasterFilter(
+                    self.isovalue, self.camera(), self.algorithm
+                )
+            ),
+        )
+        g.add_filter("M")
+        g.connect("R", "ERa")
+        g.connect("ERa", "M")
+        eff = self._negotiate(g, {"R->ERa": "read", "ERa->M": "merge"})
+        g.filters["R"].sim_factory = lambda: sim.ReadSourceModel(
+            self.profile, self.storage, self.timestep, self.costs, eff
+        )
+        g.filters["ERa"].sim_factory = lambda: sim.ExtractRasterModel(
+            self.costs, eff, self.width, self.height, self.algorithm
+        )
+        real_m, sim_m = self._merge_factories()
+        g.filters["M"].factory = self._real_or_none(real_m)
+        g.filters["M"].sim_factory = sim_m
+        return g
+
+    def _graph_rera_m(self) -> FilterGraph:
+        g = FilterGraph()
+        g.add_filter(
+            "RERa",
+            factory=self._real_or_none(
+                lambda: real.ReadExtractRasterFilter(
+                    self._require_dataset(),
+                    self.storage,
+                    self.timestep,
+                    self.isovalue,
+                    self.camera(),
+                    self.algorithm,
+                )
+            ),
+            is_source=True,
+        )
+        g.add_filter("M")
+        g.connect("RERa", "M")
+        eff = self._negotiate(g, {"RERa->M": "merge"})
+        g.filters["RERa"].sim_factory = lambda: sim.ReadExtractRasterSourceModel(
+            self.profile,
+            self.storage,
+            self.timestep,
+            self.costs,
+            eff,
+            self.width,
+            self.height,
+            self.algorithm,
+        )
+        real_m, sim_m = self._merge_factories()
+        g.filters["M"].factory = self._real_or_none(real_m)
+        g.filters["M"].sim_factory = sim_m
+        return g
+
+    # -- placement helpers -------------------------------------------------------
+    def placement(
+        self,
+        configuration: str,
+        compute_hosts: list[str] | None = None,
+        merge_host: str | None = None,
+        copies_per_host: int | dict[str, int] = 1,
+    ) -> Placement:
+        """A standard placement for ``configuration``.
+
+        Source filters go on every host holding data (one copy per host by
+        default); non-source worker filters spread over ``compute_hosts``
+        (default: the data hosts); Merge runs once on ``merge_host``
+        (default: the first compute host).  ``copies_per_host`` may be an
+        int or a per-host dict and applies to the worker filters.
+        """
+        graph = self.graph(configuration)
+        data_hosts = self.storage.hosts()
+        if not data_hosts:
+            raise ConfigurationError("storage map is empty")
+        compute_hosts = list(compute_hosts or data_hosts)
+        merge_host = merge_host or compute_hosts[0]
+        placement = Placement()
+        for spec in graph.filters.values():
+            if spec.is_source:
+                placement.spread(spec.name, data_hosts)
+            elif spec.name == "M":
+                placement.place("M", [merge_host])
+            else:
+                if isinstance(copies_per_host, dict):
+                    placement.place(
+                        spec.name,
+                        [(h, copies_per_host.get(h, 1)) for h in compute_hosts],
+                    )
+                else:
+                    placement.spread(
+                        spec.name, compute_hosts, copies_per_host=copies_per_host
+                    )
+        return placement

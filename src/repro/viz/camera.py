@@ -1,0 +1,183 @@
+"""Viewing transforms: world -> screen projection for the Raster filter.
+
+The Raster filter "transforms triangles from world coordinates to viewing
+coordinates (with respect to the viewing parameters)", projects them onto
+the image plane and clips to screen boundaries (paper Section 3.1.2).
+Orthographic projection is the default (depth comparisons stay linear);
+perspective is available for the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Camera"]
+
+
+@dataclass
+class Camera:
+    """A look-at camera with orthographic or perspective projection.
+
+    Parameters
+    ----------
+    eye / target / up:
+        Standard look-at parameters, world (x, y, z).
+    width / height:
+        Output image resolution in pixels.
+    view_width:
+        Orthographic: world units spanned by the image's horizontal axis.
+        Perspective: ignored.
+    projection:
+        ``"ortho"`` or ``"persp"``.
+    fov_degrees:
+        Perspective field of view (horizontal).
+    """
+
+    eye: tuple[float, float, float]
+    target: tuple[float, float, float]
+    up: tuple[float, float, float] = (0.0, 0.0, 1.0)
+    width: int = 512
+    height: int = 512
+    view_width: float = 2.0
+    projection: str = "ortho"
+    fov_degrees: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise ConfigurationError("image dimensions must be >= 1")
+        if self.projection not in ("ortho", "persp"):
+            raise ConfigurationError(
+                f"projection must be 'ortho' or 'persp', got {self.projection!r}"
+            )
+        eye = np.asarray(self.eye, dtype=np.float64)
+        target = np.asarray(self.target, dtype=np.float64)
+        forward = target - eye
+        norm = np.linalg.norm(forward)
+        if norm == 0:
+            raise ConfigurationError("eye and target coincide")
+        forward /= norm
+        up = np.asarray(self.up, dtype=np.float64)
+        right = np.cross(forward, up)
+        rnorm = np.linalg.norm(right)
+        if rnorm < 1e-12:
+            raise ConfigurationError("up vector parallel to view direction")
+        right /= rnorm
+        true_up = np.cross(right, forward)
+        # View matrix rows transform world offsets into camera coordinates
+        # (x right, y up, z towards the viewer; depth = distance along
+        # -forward increases away from the camera).
+        self._rotation = np.stack([right, true_up, -forward])
+        self._eye = eye
+
+    # -- transforms --------------------------------------------------------
+    def to_view(self, points: np.ndarray) -> np.ndarray:
+        """World (N, 3) -> camera coordinates (N, 3)."""
+        pts = np.asarray(points, dtype=np.float64)
+        return (pts - self._eye) @ self._rotation.T
+
+    def project_points(self, points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """World (N, 3) -> ((N, 2) pixel coordinates, (N,) depth).
+
+        Depth grows away from the camera; smaller wins the z-test.  Pixel
+        (0, 0) is the top-left corner.
+        """
+        view = self.to_view(points)
+        depth = -view[:, 2]
+        aspect = self.height / self.width
+        if self.projection == "ortho":
+            half_w = self.view_width / 2.0
+            half_h = half_w * aspect
+            ndc_x = view[:, 0] / half_w
+            ndc_y = view[:, 1] / half_h
+        else:
+            half_w = np.tan(np.radians(self.fov_degrees) / 2.0)
+            half_h = half_w * aspect
+            safe = np.where(depth > 1e-9, depth, np.nan)
+            ndc_x = view[:, 0] / (half_w * safe)
+            ndc_y = view[:, 1] / (half_h * safe)
+        px = (ndc_x + 1.0) * 0.5 * self.width
+        py = (1.0 - ndc_y) * 0.5 * self.height
+        return np.stack([px, py], axis=1), depth
+
+    def project_triangles(self, triangles: np.ndarray) -> np.ndarray:
+        """World triangles (N, 3, 3) -> screen triangles (M, 3, 3).
+
+        Output columns per vertex: (pixel x, pixel y, depth).  Triangles
+        entirely behind the camera or entirely outside the viewport are
+        culled (M <= N); partially visible triangles are kept — the
+        rasterisers clip per pixel.
+        """
+        tris = np.asarray(triangles, dtype=np.float64)
+        if tris.size == 0:
+            return np.empty((0, 3, 3), dtype=np.float64)
+        flat = tris.reshape(-1, 3)
+        xy, depth = self.project_points(flat)
+        screen = np.concatenate([xy, depth[:, None]], axis=1).reshape(-1, 3, 3)
+        # Cull: all three vertices behind camera, or bbox outside viewport.
+        front = (screen[:, :, 2] > 0).any(axis=1)
+        finite = np.isfinite(screen).all(axis=(1, 2))
+        xs, ys = screen[:, :, 0], screen[:, :, 1]
+        onscreen = (
+            (xs.max(axis=1) >= 0)
+            & (xs.min(axis=1) < self.width)
+            & (ys.max(axis=1) >= 0)
+            & (ys.min(axis=1) < self.height)
+        )
+        return screen[front & finite & onscreen]
+
+    def project_and_cull(
+        self, triangles: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Like :meth:`project_triangles`, also returning kept indices.
+
+        The indices select the surviving rows of the input, letting callers
+        subset per-triangle attributes (colours) consistently.
+        """
+        tris = np.asarray(triangles, dtype=np.float64)
+        if tris.size == 0:
+            return (
+                np.empty((0, 3, 3), dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+            )
+        flat = tris.reshape(-1, 3)
+        xy, depth = self.project_points(flat)
+        screen = np.concatenate([xy, depth[:, None]], axis=1).reshape(-1, 3, 3)
+        front = (screen[:, :, 2] > 0).any(axis=1)
+        finite = np.isfinite(screen).all(axis=(1, 2))
+        xs, ys = screen[:, :, 0], screen[:, :, 1]
+        onscreen = (
+            (xs.max(axis=1) >= 0)
+            & (xs.min(axis=1) < self.width)
+            & (ys.max(axis=1) >= 0)
+            & (ys.min(axis=1) < self.height)
+        )
+        keep = np.nonzero(front & finite & onscreen)[0]
+        return screen[keep], keep
+
+    @classmethod
+    def fit_grid(
+        cls,
+        shape: tuple[int, int, int],
+        width: int = 512,
+        height: int = 512,
+        direction: tuple[float, float, float] = (1.0, -0.6, 0.8),
+        margin: float = 1.1,
+    ) -> "Camera":
+        """A camera framing a whole (nz, ny, nx) grid from ``direction``."""
+        nz, ny, nx = shape
+        center = ((nx - 1) / 2.0, (ny - 1) / 2.0, (nz - 1) / 2.0)
+        diag = float(np.linalg.norm([nx - 1, ny - 1, nz - 1]))
+        d = np.asarray(direction, dtype=np.float64)
+        d /= np.linalg.norm(d)
+        eye = tuple(np.asarray(center) + d * diag * 1.5)
+        return cls(
+            eye=eye,
+            target=center,
+            width=width,
+            height=height,
+            view_width=diag * margin,
+        )

@@ -1,0 +1,423 @@
+"""Real isosurface-rendering filters (threaded engine).
+
+The application decomposes into Read (R), Extract (E), Raster (Ra) and
+Merge (M) filters (paper Figure 2b), plus the combined RE, ERa and RERa
+filters used by the three experimental configurations (Figure 3).  These
+filters do real work on NumPy arrays and are exercised by the examples and
+the correctness tests; their simulated counterparts live in
+:mod:`repro.viz.models`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.buffer import DataBuffer
+from repro.core.filter import Filter, FilterContext
+from repro.data.chunks import ChunkSpec
+from repro.data.parssim import ParSSimDataset
+from repro.data.storage import StorageMap
+from repro.errors import DataError
+from repro.viz.active_pixel import ActivePixelMerger, ActivePixelRaster, WPABuffer
+from repro.viz.camera import Camera
+from repro.viz.marching_cubes import extract_triangles
+from repro.viz.raster import ZBuffer, ZBufferSlab
+from repro.viz.shading import shade_triangles
+
+__all__ = [
+    "ChunkPayload",
+    "TrianglePayload",
+    "RenderResult",
+    "ReadFilter",
+    "ExtractFilter",
+    "RasterZFilter",
+    "RasterAPFilter",
+    "MergeZFilter",
+    "MergeAPFilter",
+    "ReadExtractFilter",
+    "ExtractRasterFilter",
+    "ReadExtractRasterFilter",
+    "TRIANGLE_BYTES",
+]
+
+#: Wire size of one triangle: 3 vertices x (x, y, z) float32.
+TRIANGLE_BYTES = 36
+
+#: Default z-buffer merge-stream buffer: entries per slab (2 MiB buffers at
+#: 8 bytes/entry, the paper's Table 1 granularity).
+ZB_SLAB_ENTRIES = 262144
+
+
+@dataclass
+class ChunkPayload:
+    """Voxel data of one sub-volume: the R -> E stream payload."""
+
+    chunk: ChunkSpec
+    scalars: np.ndarray  # (dz, dy, dx) float32
+
+
+@dataclass
+class TrianglePayload:
+    """World-space triangles: the E -> Ra stream payload."""
+
+    triangles: np.ndarray  # (N, 3, 3) float32
+
+
+@dataclass
+class RenderResult:
+    """Final output of the Merge filter."""
+
+    image: np.ndarray  # (height, width, 3) uint8
+    active_pixels: int
+    buffers_merged: int
+
+
+def _chunk_world_origin(chunk: ChunkSpec) -> tuple[float, float, float]:
+    """World (x, y, z) position of a chunk's first grid point."""
+    return (float(chunk.start[2]), float(chunk.start[1]), float(chunk.start[0]))
+
+
+def _copy_files(storage: StorageMap, ctx: FilterContext):
+    """The declustered files this source copy is responsible for."""
+    files = storage.files_on(ctx.host)
+    return files[ctx.copy_index :: ctx.copies_on_host]
+
+
+def _uow_get(ctx: FilterContext, key: str, default):
+    """A per-unit-of-work override (``ctx.uow`` dict), or ``default``.
+
+    Work cycles (``ThreadedEngine.run_cycles``) pass descriptors like
+    ``{"timestep": 3}`` or ``{"camera": Camera(...)}`` so persistent filter
+    instances can render a different timestep or viewpoint per cycle.
+    """
+    uow = getattr(ctx, "uow", None)
+    if isinstance(uow, dict) and key in uow:
+        return uow[key]
+    return default
+
+
+class ReadFilter(Filter):
+    """R: read declustered chunk data from this copy's host.
+
+    Emits one buffer per chunk, tagged with the chunk id.  Copies on the
+    same host split the host's files round-robin.
+    """
+
+    def __init__(
+        self,
+        dataset: ParSSimDataset,
+        storage: StorageMap,
+        timestep: int,
+        species: int = 0,
+    ):
+        self.dataset = dataset
+        self.storage = storage
+        self.timestep = timestep
+        self.species = species
+
+    def flush(self, ctx: FilterContext) -> None:
+        """End-of-work processing (see Filter.flush)."""
+        timestep = _uow_get(ctx, "timestep", self.timestep)
+        species = _uow_get(ctx, "species", self.species)
+        for data_file, _disk in _copy_files(self.storage, ctx):
+            for chunk in data_file.chunks:
+                scalars = self.dataset.chunk_field(chunk, timestep, species)
+                ctx.write(
+                    DataBuffer(
+                        chunk.nbytes,
+                        ChunkPayload(chunk, scalars),
+                        tags={"chunk": chunk.chunk_id},
+                    )
+                )
+
+
+class ExtractFilter(Filter):
+    """E: marching cubes over each incoming chunk."""
+
+    def __init__(self, isovalue: float):
+        self.isovalue = isovalue
+
+    def handle(self, ctx: FilterContext, buffer: DataBuffer) -> None:
+        """Process one input buffer (see Filter.handle)."""
+        payload: ChunkPayload = buffer.payload
+        tris = extract_triangles(
+            payload.scalars,
+            self.isovalue,
+            origin=_chunk_world_origin(payload.chunk),
+        )
+        if len(tris) == 0:
+            return
+        ctx.write(
+            DataBuffer(
+                len(tris) * TRIANGLE_BYTES,
+                TrianglePayload(tris),
+                tags=dict(buffer.tags),
+            )
+        )
+
+
+class _RasterBase(Filter):
+    """Shared projection and shading for the raster filters.
+
+    The active camera may be overridden per unit of work via
+    ``ctx.uow["camera"]`` (latched at ``init``, when the cycle starts).
+    """
+
+    def __init__(
+        self,
+        camera: Camera,
+        light_direction: tuple[float, float, float] = (0.4, -0.5, 0.8),
+    ):
+        self.camera = camera
+        self._active_camera = camera
+        self.light_direction = light_direction
+
+    def _latch_camera(self, ctx: FilterContext) -> None:
+        self._active_camera = _uow_get(ctx, "camera", self.camera)
+
+    def _screen_and_colors(self, tris: np.ndarray):
+        colors = shade_triangles(tris, light_direction=self.light_direction)
+        screen, kept = self._active_camera.project_and_cull(tris)
+        return screen, colors[kept]
+
+
+class RasterZFilter(_RasterBase):
+    """Ra (z-buffer): accumulate locally, ship the whole buffer at EOW."""
+
+    def init(self, ctx: FilterContext) -> None:
+        """Per-unit-of-work set-up (see Filter.init)."""
+        self._latch_camera(ctx)
+        self._zbuf = ZBuffer(self.camera.width, self.camera.height)
+
+    def handle(self, ctx: FilterContext, buffer: DataBuffer) -> None:
+        """Process one input buffer (see Filter.handle)."""
+        payload: TrianglePayload = buffer.payload
+        screen, colors = self._screen_and_colors(payload.triangles)
+        self._zbuf.rasterize(screen, colors)
+
+    def flush(self, ctx: FilterContext) -> None:
+        """End-of-work processing (see Filter.flush)."""
+        for slab in self._zbuf.slabs(ZB_SLAB_ENTRIES):
+            ctx.write(DataBuffer(slab.nbytes, slab))
+
+    def finalize(self, ctx: FilterContext) -> None:
+        """Release per-unit-of-work resources (see Filter.finalize)."""
+        del self._zbuf
+
+
+class RasterAPFilter(_RasterBase):
+    """Ra (active pixel): emit WPA buffers as input buffers are processed."""
+
+    def __init__(self, camera, light_direction=(0.4, -0.5, 0.8), capacity_entries=5461):
+        super().__init__(camera, light_direction)
+        self.capacity_entries = capacity_entries
+
+    def init(self, ctx: FilterContext) -> None:
+        """Per-unit-of-work set-up (see Filter.init)."""
+        self._latch_camera(ctx)
+        self._raster = ActivePixelRaster(
+            self.camera.width, self.camera.height, self.capacity_entries
+        )
+
+    def handle(self, ctx: FilterContext, buffer: DataBuffer) -> None:
+        """Process one input buffer (see Filter.handle)."""
+        payload: TrianglePayload = buffer.payload
+        screen, colors = self._screen_and_colors(payload.triangles)
+        for wpa in self._raster.process(screen, colors):
+            ctx.write(DataBuffer(wpa.nbytes, wpa))
+
+    def finalize(self, ctx: FilterContext) -> None:
+        """Release per-unit-of-work resources (see Filter.finalize)."""
+        del self._raster
+
+
+class MergeZFilter(Filter):
+    """M (z-buffer): depth-merge slabs, extract the final image."""
+
+    def __init__(self, width: int, height: int):
+        self.width = width
+        self.height = height
+
+    def init(self, ctx: FilterContext) -> None:
+        """Per-unit-of-work set-up (see Filter.init)."""
+        self._zbuf = ZBuffer(self.width, self.height)
+        self._buffers = 0
+
+    def handle(self, ctx: FilterContext, buffer: DataBuffer) -> None:
+        """Process one input buffer (see Filter.handle)."""
+        slab: ZBufferSlab = buffer.payload
+        self._zbuf.merge_slab(slab)
+        self._buffers += 1
+
+    def result(self) -> RenderResult:
+        """The composited image (available after the run completes)."""
+        return RenderResult(
+            self._zbuf.image(), self._zbuf.active_pixels(), self._buffers
+        )
+
+
+class MergeAPFilter(Filter):
+    """M (active pixel): depth-merge WPA buffers as they arrive."""
+
+    def __init__(self, width: int, height: int):
+        self.width = width
+        self.height = height
+
+    def init(self, ctx: FilterContext) -> None:
+        """Per-unit-of-work set-up (see Filter.init)."""
+        self._merger = ActivePixelMerger(self.width, self.height)
+
+    def handle(self, ctx: FilterContext, buffer: DataBuffer) -> None:
+        """Process one input buffer (see Filter.handle)."""
+        wpa: WPABuffer = buffer.payload
+        self._merger.merge(wpa)
+
+    def result(self) -> RenderResult:
+        """The composited image (available after the run completes)."""
+        return RenderResult(
+            self._merger.image(),
+            self._merger.active_pixels(),
+            self._merger.buffers_merged,
+        )
+
+
+class ReadExtractFilter(Filter):
+    """RE: read local chunks and extract triangles in one filter."""
+
+    def __init__(
+        self,
+        dataset: ParSSimDataset,
+        storage: StorageMap,
+        timestep: int,
+        isovalue: float,
+        species: int = 0,
+    ):
+        self.read = ReadFilter(dataset, storage, timestep, species)
+        self.isovalue = isovalue
+
+    def flush(self, ctx: FilterContext) -> None:
+        """End-of-work processing (see Filter.flush)."""
+        timestep = _uow_get(ctx, "timestep", self.read.timestep)
+        species = _uow_get(ctx, "species", self.read.species)
+        for data_file, _disk in _copy_files(self.read.storage, ctx):
+            for chunk in data_file.chunks:
+                scalars = self.read.dataset.chunk_field(
+                    chunk, timestep, species
+                )
+                tris = extract_triangles(
+                    scalars, self.isovalue, origin=_chunk_world_origin(chunk)
+                )
+                if len(tris) == 0:
+                    continue
+                ctx.write(
+                    DataBuffer(
+                        len(tris) * TRIANGLE_BYTES,
+                        TrianglePayload(tris),
+                        tags={"chunk": chunk.chunk_id},
+                    )
+                )
+
+
+class ExtractRasterFilter(Filter):
+    """ERa: extract and rasterise in one filter.
+
+    ``algorithm`` selects z-buffer (accumulate + flush) or active pixel
+    (streaming emission).
+    """
+
+    def __init__(self, isovalue: float, camera: Camera, algorithm: str = "active"):
+        if algorithm not in ("zbuffer", "active"):
+            raise DataError(f"algorithm must be 'zbuffer' or 'active', got {algorithm!r}")
+        self.isovalue = isovalue
+        self.camera = camera
+        self.algorithm = algorithm
+
+    def init(self, ctx: FilterContext) -> None:
+        """Per-unit-of-work set-up (see Filter.init)."""
+        if self.algorithm == "zbuffer":
+            self._raster = RasterZFilter(self.camera)
+        else:
+            self._raster = RasterAPFilter(self.camera)
+        self._raster.init(ctx)
+        self._extract = ExtractFilter(self.isovalue)
+
+    def handle(self, ctx: FilterContext, buffer: DataBuffer) -> None:
+        """Process one input buffer (see Filter.handle)."""
+        payload: ChunkPayload = buffer.payload
+        tris = extract_triangles(
+            payload.scalars,
+            self.isovalue,
+            origin=_chunk_world_origin(payload.chunk),
+        )
+        if len(tris) == 0:
+            return
+        inner = DataBuffer(
+            len(tris) * TRIANGLE_BYTES, TrianglePayload(tris), tags=dict(buffer.tags)
+        )
+        self._raster.handle(ctx, inner)
+
+    def flush(self, ctx: FilterContext) -> None:
+        """End-of-work processing (see Filter.flush)."""
+        self._raster.flush(ctx)
+
+    def finalize(self, ctx: FilterContext) -> None:
+        """Release per-unit-of-work resources (see Filter.finalize)."""
+        self._raster.finalize(ctx)
+
+
+class ReadExtractRasterFilter(Filter):
+    """RERa: the fully combined single-filter configuration."""
+
+    def __init__(
+        self,
+        dataset: ParSSimDataset,
+        storage: StorageMap,
+        timestep: int,
+        isovalue: float,
+        camera: Camera,
+        algorithm: str = "active",
+        species: int = 0,
+    ):
+        if algorithm not in ("zbuffer", "active"):
+            raise DataError(f"algorithm must be 'zbuffer' or 'active', got {algorithm!r}")
+        self.dataset = dataset
+        self.storage = storage
+        self.timestep = timestep
+        self.species = species
+        self.isovalue = isovalue
+        self.camera = camera
+        self.algorithm = algorithm
+
+    def init(self, ctx: FilterContext) -> None:
+        """Per-unit-of-work set-up (see Filter.init)."""
+        if self.algorithm == "zbuffer":
+            self._raster = RasterZFilter(self.camera)
+        else:
+            self._raster = RasterAPFilter(self.camera)
+        self._raster.init(ctx)
+
+    def flush(self, ctx: FilterContext) -> None:
+        """End-of-work processing (see Filter.flush)."""
+        timestep = _uow_get(ctx, "timestep", self.timestep)
+        species = _uow_get(ctx, "species", self.species)
+        for data_file, _disk in _copy_files(self.storage, ctx):
+            for chunk in data_file.chunks:
+                scalars = self.dataset.chunk_field(chunk, timestep, species)
+                tris = extract_triangles(
+                    scalars, self.isovalue, origin=_chunk_world_origin(chunk)
+                )
+                if len(tris) == 0:
+                    continue
+                inner = DataBuffer(
+                    len(tris) * TRIANGLE_BYTES,
+                    TrianglePayload(tris),
+                    tags={"chunk": chunk.chunk_id},
+                )
+                self._raster.handle(ctx, inner)
+        self._raster.flush(ctx)
+
+    def finalize(self, ctx: FilterContext) -> None:
+        """Release per-unit-of-work resources (see Filter.finalize)."""
+        self._raster.finalize(ctx)

@@ -1,0 +1,176 @@
+"""Isosurface extraction on rectilinear grids.
+
+The paper uses the marching cubes algorithm [23] in the Extract filter.  We
+implement cube-wise table-driven extraction where the 256-case triangle
+table is *derived at import time* from the Kuhn six-tetrahedra decomposition
+of the cube (marching tetrahedra within each cube).  This produces a
+watertight, case-table-complete isosurface with the same per-voxel access
+pattern and pipeline behaviour as classic marching cubes; it emits somewhat
+more triangles per surface cell (tetrahedral cases split quads), which the
+cost models absorb in their per-triangle constants.  Deriving the table
+programmatically keeps it provably consistent (no hand-typed 256x16 array)
+and is validated by property tests.
+
+Corner numbering: bit0 = +x, bit1 = +y, bit2 = +z, so corner ``c`` sits at
+``(x, y, z) = (c & 1, (c >> 1) & 1, (c >> 2) & 1)``.  A corner is *inside*
+when its scalar exceeds the isovalue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataError
+
+__all__ = ["extract_triangles", "triangle_count", "TRI_TABLE", "CORNER_OFFSETS"]
+
+#: (8, 3) integer offsets of cube corners, columns (x, y, z).
+CORNER_OFFSETS = np.array(
+    [[(c >> 0) & 1, (c >> 1) & 1, (c >> 2) & 1] for c in range(8)], dtype=np.int64
+)
+
+# Kuhn decomposition: six tetrahedra around the 0-7 diagonal, one per
+# permutation of the coordinate axes.  Compatible across adjacent cubes.
+_TETS = (
+    (0, 1, 3, 7),  # x, y, z
+    (0, 1, 5, 7),  # x, z, y
+    (0, 2, 3, 7),  # y, x, z
+    (0, 2, 6, 7),  # y, z, x
+    (0, 4, 5, 7),  # z, x, y
+    (0, 4, 6, 7),  # z, y, x
+)
+
+
+def _tet_triangles(inside: tuple[bool, ...], tet: tuple[int, int, int, int]):
+    """Triangles for one tetrahedron as (inside_corner, outside_corner) edges."""
+    ins = [v for v in tet if inside[v]]
+    outs = [v for v in tet if not inside[v]]
+    if not ins or not outs:
+        return []
+    if len(ins) == 1:
+        v = ins[0]
+        return [((v, outs[0]), (v, outs[1]), (v, outs[2]))]
+    if len(ins) == 3:
+        o = outs[0]
+        return [((ins[0], o), (ins[1], o), (ins[2], o))]
+    # Two inside, two outside: a quad split into two triangles.
+    i1, i2 = ins
+    o1, o2 = outs
+    return [
+        ((i1, o1), (i1, o2), (i2, o2)),
+        ((i1, o1), (i2, o2), (i2, o1)),
+    ]
+
+
+def _build_table() -> list[np.ndarray]:
+    """TRI_TABLE[config] -> (ntri, 3, 2) int8 array of (in, out) corner pairs."""
+    table: list[np.ndarray] = []
+    for config in range(256):
+        inside = tuple(bool(config >> c & 1) for c in range(8))
+        tris = []
+        for tet in _TETS:
+            tris.extend(_tet_triangles(inside, tet))
+        if tris:
+            table.append(np.array(tris, dtype=np.int8))
+        else:
+            table.append(np.empty((0, 3, 2), dtype=np.int8))
+    return table
+
+
+TRI_TABLE = _build_table()
+
+#: triangles emitted per configuration (diagnostics / cost estimation)
+_TRIS_PER_CONFIG = np.array([t.shape[0] for t in TRI_TABLE], dtype=np.int64)
+
+
+def _cube_configs(scalars: np.ndarray, isovalue: float) -> np.ndarray:
+    """Config bitmask per cube for a (nz, ny, nx) scalar grid."""
+    if scalars.ndim != 3:
+        raise DataError(f"scalars must be 3-D, got shape {scalars.shape}")
+    nz, ny, nx = scalars.shape
+    if nz < 2 or ny < 2 or nx < 2:
+        raise DataError(f"grid too small for cubes: {scalars.shape}")
+    inside = scalars > isovalue
+    cfg = np.zeros((nz - 1, ny - 1, nx - 1), dtype=np.uint16)
+    for c in range(8):
+        dx, dy, dz = CORNER_OFFSETS[c]
+        view = inside[dz : dz + nz - 1, dy : dy + ny - 1, dx : dx + nx - 1]
+        cfg |= view.astype(np.uint16) << c
+    return cfg
+
+
+def triangle_count(scalars: np.ndarray, isovalue: float) -> int:
+    """Number of triangles :func:`extract_triangles` would emit.
+
+    Much cheaper than extraction; used for dataset profiling.
+    """
+    cfg = _cube_configs(scalars, isovalue)
+    return int(_TRIS_PER_CONFIG[cfg.ravel()].sum())
+
+
+def extract_triangles(
+    scalars: np.ndarray,
+    isovalue: float,
+    origin: tuple[float, float, float] = (0.0, 0.0, 0.0),
+    spacing: tuple[float, float, float] = (1.0, 1.0, 1.0),
+) -> np.ndarray:
+    """Extract the isosurface of a scalar grid.
+
+    Parameters
+    ----------
+    scalars:
+        (nz, ny, nx) scalar field (grid points).
+    isovalue:
+        Surface level; a corner is inside when ``scalar > isovalue``.
+    origin / spacing:
+        World-space placement: grid point (z, y, x) maps to world
+        ``origin + (x, y, z) * spacing`` — both given in (x, y, z) order.
+
+    Returns
+    -------
+    (N, 3, 3) float32 array: N triangles, 3 vertices, (x, y, z) world
+    coordinates.  Every vertex lies on a cube/tetrahedron edge where linear
+    interpolation of the endpoint scalars equals ``isovalue``.
+    """
+    scalars = np.asarray(scalars, dtype=np.float32)
+    cfg = _cube_configs(scalars, isovalue)
+    active_mask = (cfg != 0) & (cfg != 255)
+    az, ay, ax = np.nonzero(active_mask)
+    if az.size == 0:
+        return np.empty((0, 3, 3), dtype=np.float32)
+    cfg_active = cfg[az, ay, ax]
+
+    origin = np.asarray(origin, dtype=np.float64)
+    spacing = np.asarray(spacing, dtype=np.float64)
+
+    pieces: list[np.ndarray] = []
+    for config in np.unique(cfg_active):
+        edges = TRI_TABLE[config]  # (T, 3, 2)
+        if edges.size == 0:
+            continue
+        sel = cfg_active == config
+        cz, cy, cx = az[sel], ay[sel], ax[sel]  # (M,)
+        a = edges[:, :, 0].astype(np.int64)  # inside corners  (T, 3)
+        b = edges[:, :, 1].astype(np.int64)  # outside corners (T, 3)
+        # Scalar values at both corners of each edge: (M, T, 3).
+        s_a = scalars[
+            cz[:, None, None] + CORNER_OFFSETS[a, 2],
+            cy[:, None, None] + CORNER_OFFSETS[a, 1],
+            cx[:, None, None] + CORNER_OFFSETS[a, 0],
+        ]
+        s_b = scalars[
+            cz[:, None, None] + CORNER_OFFSETS[b, 2],
+            cy[:, None, None] + CORNER_OFFSETS[b, 1],
+            cx[:, None, None] + CORNER_OFFSETS[b, 0],
+        ]
+        t = (isovalue - s_a) / (s_b - s_a)  # in (0, 1]; s_a > iso >= s_b
+        # Corner positions in (x, y, z) grid units: (M, T, 3, 3).
+        base = np.stack([cx, cy, cz], axis=-1)[:, None, None, :].astype(np.float64)
+        pa = base + CORNER_OFFSETS[a][None, :, :, :]
+        pb = base + CORNER_OFFSETS[b][None, :, :, :]
+        verts = pa + t[..., None] * (pb - pa)
+        verts = origin + verts * spacing
+        pieces.append(verts.reshape(-1, 3, 3))
+    if not pieces:
+        return np.empty((0, 3, 3), dtype=np.float32)
+    return np.concatenate(pieces, axis=0).astype(np.float32)

@@ -1,0 +1,519 @@
+"""Simulated cost/behaviour models of the isosurface filters.
+
+Each model mirrors one real filter in :mod:`repro.viz.filters`: it prices
+per-buffer work in reference core-seconds and emits buffers with the same
+counts/sizes the real filter would.  The constants in :class:`CostParams`
+are calibrated so that, on a reference (Rogue) node with the 1.5 GB dataset
+and a 2048x2048 image, the per-filter totals land near the paper's Table 2
+(R 0.7 s, E 1.7 s, Ra ~9-12 s, M ~0.7-0.9 s).
+
+Buffer-flow fidelity (Table 1 semantics):
+
+- Read emits each chunk's voxels in fixed-size buffers;
+- Extract emits its output buffer *when full or when the current input
+  buffer is fully processed* — so triangle buffers are mostly partial;
+- z-buffer Raster emits nothing until end-of-work, then the whole
+  ``W*H*8``-byte buffer in fixed slabs;
+- active-pixel Raster emits WPA buffers continuously (12 bytes/entry);
+- Merge consumes either stream and exposes summary statistics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.buffer import DataBuffer, chunk_bytes
+from repro.core.filter import FilterContext, SimFilter, SimSource, SourceItem
+from repro.data.storage import StorageMap
+from repro.errors import ConfigurationError
+from repro.viz.active_pixel import WPA_ENTRY_BYTES
+from repro.viz.filters import TRIANGLE_BYTES
+from repro.viz.raster import ZBUFFER_ENTRY_BYTES
+from repro.viz.profile import DatasetProfile
+
+__all__ = [
+    "CostParams",
+    "BufferSizes",
+    "ReadSourceModel",
+    "ExtractModel",
+    "RasterZBModel",
+    "RasterAPModel",
+    "MergeModel",
+    "ReadExtractSourceModel",
+    "ExtractRasterModel",
+    "ReadExtractRasterSourceModel",
+]
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Calibrated per-unit CPU costs (reference core-seconds)."""
+
+    read_per_byte: float = 2.0e-9
+    extract_per_voxel: float = 1.6e-7
+    extract_per_triangle: float = 1.0e-6
+    raster_per_triangle: float = 2.0e-5
+    raster_per_fragment: float = 1.6e-6
+    ap_per_entry: float = 9.0e-7
+    zb_send_per_byte: float = 5.0e-9
+    merge_zb_per_entry: float = 2.1e-7
+    merge_ap_per_entry: float = 3.0e-7
+    #: average fragments per triangle when rendered at 2048 x 2048
+    fragments_per_triangle_2048: float = 10.0
+    #: winning-pixel entries per fragment in the active-pixel scheme
+    ap_entry_ratio: float = 0.9
+
+    def fragments_per_triangle(self, width: int, height: int) -> float:
+        """Projected fragments per triangle at the given image size."""
+        return self.fragments_per_triangle_2048 * (width * height) / float(2048 * 2048)
+
+
+@dataclass(frozen=True)
+class BufferSizes:
+    """Fixed stream-buffer sizes (bytes), per the paper's runtime choices."""
+
+    read: int = 88 * 1024
+    triangles: int = 64 * 1024
+    zbuffer_slab: int = 2 * 1024 * 1024
+    wpa: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        for field_name in ("read", "triangles", "zbuffer_slab", "wpa"):
+            if getattr(self, field_name) < 1:
+                raise ConfigurationError(f"buffer size {field_name} must be >= 1")
+
+
+def _split_counts(total: int, weights: list[int]) -> list[int]:
+    """Split ``total`` items proportionally to ``weights`` (exact sum)."""
+    wsum = sum(weights)
+    if wsum == 0:
+        out = [0] * len(weights)
+        if out:
+            out[-1] = total
+        return out
+    out, acc = [], 0
+    for w in weights[:-1]:
+        share = int(round(total * w / wsum))
+        out.append(share)
+        acc += share
+    out.append(total - acc)
+    return out
+
+
+def _emit_stream_buffers(total_bytes: int, cap: int, **unit_tags) -> list[DataBuffer]:
+    """Fixed-size buffers for ``total_bytes`` with proportional unit tags.
+
+    ``unit_tags`` maps tag name -> total units (e.g. triangles); each output
+    buffer carries its proportional share.
+    """
+    sizes = chunk_bytes(total_bytes, cap)
+    if not sizes:
+        return []
+    shares = {
+        key: _split_counts(total, [s for s in sizes])
+        for key, total in unit_tags.items()
+    }
+    return [
+        DataBuffer(size, tags={key: shares[key][i] for key in shares})
+        for i, size in enumerate(sizes)
+    ]
+
+
+class ReadSourceModel(SimSource):
+    """R: read this copy's declustered files, emit voxel buffers.
+
+    Buffers are *packed across chunk boundaries* within a file ("a buffer
+    contains a subset of voxels in the dataset"): voxel data accumulates
+    until the fixed buffer size is reached, with a partial buffer flushed
+    at each file boundary.  This reproduces Table 1's buffer count — at
+    full scale, ~39 MB of voxels in 88 KiB buffers is the paper's ~443
+    R->E buffers — rather than one buffer per (small) chunk.
+    """
+
+    def __init__(
+        self,
+        profile: DatasetProfile,
+        storage: StorageMap,
+        timestep: int,
+        costs: CostParams,
+        buffers: BufferSizes,
+    ):
+        self.profile = profile
+        self.storage = storage
+        self.timestep = timestep
+        self.costs = costs
+        self.buffers = buffers
+
+    def items(self, ctx: FilterContext):
+        """Yield this copy's source work items (see SimSource)."""
+        cap = self.buffers.read
+        files = self.storage.files_on(ctx.host)
+        for data_file, disk in files[ctx.copy_index :: ctx.copies_on_host]:
+            pend_bytes = pend_voxels = pend_tris = 0
+            last = len(data_file.chunks) - 1
+            for i, chunk in enumerate(data_file.chunks):
+                pend_bytes += chunk.nbytes
+                pend_voxels += chunk.points
+                pend_tris += self.profile.triangles(self.timestep, chunk.chunk_id)
+                outs: list[DataBuffer] = []
+                while pend_bytes >= cap:
+                    vox = int(round(pend_voxels * cap / pend_bytes))
+                    tri = int(round(pend_tris * cap / pend_bytes))
+                    outs.append(
+                        DataBuffer(cap, tags={"voxels": vox, "triangles": tri})
+                    )
+                    pend_bytes -= cap
+                    pend_voxels -= vox
+                    pend_tris -= tri
+                if i == last and pend_bytes > 0:
+                    # Partial buffer at the file boundary.
+                    outs.append(
+                        DataBuffer(
+                            pend_bytes,
+                            tags={"voxels": pend_voxels, "triangles": pend_tris},
+                        )
+                    )
+                    pend_bytes = pend_voxels = pend_tris = 0
+                yield SourceItem(
+                    read_bytes=chunk.nbytes,
+                    disk_index=disk,
+                    cpu=chunk.nbytes * self.costs.read_per_byte,
+                    sequential=i > 0,
+                    outputs=outs,
+                )
+
+
+class ExtractModel(SimFilter):
+    """E: marching cubes cost; emits triangle buffers per input buffer."""
+
+    def __init__(self, costs: CostParams, buffers: BufferSizes):
+        self.costs = costs
+        self.buffers = buffers
+
+    def cost(self, buffer: DataBuffer) -> float:
+        """CPU cost of processing ``buffer`` (reference core-seconds)."""
+        voxels = buffer.tags.get("voxels", 0)
+        tris = buffer.tags.get("triangles", 0)
+        return (
+            voxels * self.costs.extract_per_voxel
+            + tris * self.costs.extract_per_triangle
+        )
+
+    def react(self, buffer: DataBuffer):
+        """Buffers emitted in response to ``buffer``."""
+        tris = buffer.tags.get("triangles", 0)
+        return _emit_stream_buffers(
+            tris * TRIANGLE_BYTES, self.buffers.triangles, triangles=tris
+        )
+
+    def memory_bytes(self) -> int:
+        # One input voxel buffer plus one output triangle buffer.
+        """Estimated resident memory of one copy."""
+        return self.buffers.read + self.buffers.triangles
+
+
+class _RasterCost:
+    """Shared raster arithmetic."""
+
+    def __init__(self, costs: CostParams, width: int, height: int):
+        self.costs = costs
+        self.width = width
+        self.height = height
+        self.frag_per_tri = costs.fragments_per_triangle(width, height)
+
+    def triangle_cost(self, tris: int) -> float:
+        """Transform + fill cost of ``tris`` triangles."""
+        frags = tris * self.frag_per_tri
+        return tris * self.costs.raster_per_triangle + frags * self.costs.raster_per_fragment
+
+    def ap_entries(self, tris: int) -> int:
+        """Winning-pixel entries generated by ``tris`` triangles."""
+        return int(math.ceil(tris * self.frag_per_tri * self.costs.ap_entry_ratio))
+
+
+class RasterZBModel(SimFilter):
+    """Ra (z-buffer): accumulate; flush the whole buffer in fixed slabs."""
+
+    def __init__(self, costs: CostParams, buffers: BufferSizes, width: int, height: int):
+        self._r = _RasterCost(costs, width, height)
+        self.buffers = buffers
+        self.costs = costs
+
+    def cost(self, buffer: DataBuffer) -> float:
+        """CPU cost of processing ``buffer`` (reference core-seconds)."""
+        return self._r.triangle_cost(buffer.tags.get("triangles", 0))
+
+    def flush_cost(self) -> float:
+        """CPU cost of end-of-work processing."""
+        return self._zb_bytes() * self.costs.zb_send_per_byte
+
+    def flush_outputs(self):
+        """Buffers emitted at end-of-work."""
+        entries = self._r.width * self._r.height
+        return _emit_stream_buffers(
+            self._zb_bytes(), self.buffers.zbuffer_slab, entries=entries
+        )
+
+    def memory_bytes(self) -> int:
+        # The full z-buffer accumulator dominates (paper Section 3.1.2).
+        """Estimated resident memory of one copy."""
+        return self._zb_bytes() + self.buffers.triangles
+
+    def _zb_bytes(self) -> int:
+        return self._r.width * self._r.height * ZBUFFER_ENTRY_BYTES
+
+
+class RasterAPModel(SimFilter):
+    """Ra (active pixel): stream WPA buffers as inputs are processed."""
+
+    def __init__(self, costs: CostParams, buffers: BufferSizes, width: int, height: int):
+        self._r = _RasterCost(costs, width, height)
+        self.buffers = buffers
+        self.costs = costs
+
+    def cost(self, buffer: DataBuffer) -> float:
+        """CPU cost of processing ``buffer`` (reference core-seconds)."""
+        tris = buffer.tags.get("triangles", 0)
+        return self._r.triangle_cost(tris) + self._r.ap_entries(tris) * self.costs.ap_per_entry
+
+    def react(self, buffer: DataBuffer):
+        """Buffers emitted in response to ``buffer``."""
+        entries = self._r.ap_entries(buffer.tags.get("triangles", 0))
+        return _emit_stream_buffers(
+            entries * WPA_ENTRY_BYTES, self.buffers.wpa, entries=entries
+        )
+
+    def memory_bytes(self) -> int:
+        # One open WPA buffer plus a scanline index (paper: MSA of the
+        # screen's x-resolution) — the "better use of system memory".
+        """Estimated resident memory of one copy."""
+        return self.buffers.wpa + self._r.width * 4 + self.buffers.triangles
+
+
+class MergeModel(SimFilter):
+    """M: depth-composite incoming pixel buffers; exposes run statistics.
+
+    ``width``/``height`` size the merge-side accumulator for memory
+    accounting (both algorithms keep a full-screen buffer at the merge).
+    """
+
+    def __init__(self, costs: CostParams, algorithm: str, width: int = 0, height: int = 0):
+        if algorithm not in ("zbuffer", "active"):
+            raise ConfigurationError(
+                f"algorithm must be 'zbuffer' or 'active', got {algorithm!r}"
+            )
+        self.costs = costs
+        self.algorithm = algorithm
+        self.width = width
+        self.height = height
+        self.buffers_in = 0
+        self.entries_in = 0
+        self.bytes_in = 0
+
+    def cost(self, buffer: DataBuffer) -> float:
+        """CPU cost of processing ``buffer`` (reference core-seconds)."""
+        if self.algorithm == "zbuffer":
+            entries = buffer.nbytes / ZBUFFER_ENTRY_BYTES
+            unit = self.costs.merge_zb_per_entry
+        else:
+            entries = buffer.nbytes / WPA_ENTRY_BYTES
+            unit = self.costs.merge_ap_per_entry
+        self.buffers_in += 1
+        self.entries_in += int(entries)
+        self.bytes_in += buffer.nbytes
+        return entries * unit
+
+    def result(self):
+        """Final value exposed by this sink."""
+        return {
+            "algorithm": self.algorithm,
+            "buffers": self.buffers_in,
+            "entries": self.entries_in,
+            "bytes": self.bytes_in,
+        }
+
+    def memory_bytes(self) -> int:
+        """Estimated resident memory of one copy."""
+        return self.width * self.height * ZBUFFER_ENTRY_BYTES
+
+
+class ReadExtractSourceModel(SimSource):
+    """RE: read + extract combined; emits triangle buffers."""
+
+    def __init__(
+        self,
+        profile: DatasetProfile,
+        storage: StorageMap,
+        timestep: int,
+        costs: CostParams,
+        buffers: BufferSizes,
+    ):
+        self.profile = profile
+        self.storage = storage
+        self.timestep = timestep
+        self.costs = costs
+        self.buffers = buffers
+
+    def items(self, ctx: FilterContext):
+        """Yield this copy's source work items (see SimSource)."""
+        files = self.storage.files_on(ctx.host)
+        for data_file, disk in files[ctx.copy_index :: ctx.copies_on_host]:
+            for i, chunk in enumerate(data_file.chunks):
+                tris = self.profile.triangles(self.timestep, chunk.chunk_id)
+                cpu = (
+                    chunk.nbytes * self.costs.read_per_byte
+                    + chunk.points * self.costs.extract_per_voxel
+                    + tris * self.costs.extract_per_triangle
+                )
+                outs = _emit_stream_buffers(
+                    tris * TRIANGLE_BYTES, self.buffers.triangles, triangles=tris
+                )
+                yield SourceItem(
+                    read_bytes=chunk.nbytes, disk_index=disk, cpu=cpu,
+                    sequential=i > 0, outputs=outs,
+                )
+
+
+class ExtractRasterModel(SimFilter):
+    """ERa: extract + raster combined, consuming voxel buffers."""
+
+    def __init__(
+        self,
+        costs: CostParams,
+        buffers: BufferSizes,
+        width: int,
+        height: int,
+        algorithm: str,
+    ):
+        if algorithm not in ("zbuffer", "active"):
+            raise ConfigurationError(
+                f"algorithm must be 'zbuffer' or 'active', got {algorithm!r}"
+            )
+        self.algorithm = algorithm
+        self.costs = costs
+        self.buffers = buffers
+        self._r = _RasterCost(costs, width, height)
+
+    def cost(self, buffer: DataBuffer) -> float:
+        """CPU cost of processing ``buffer`` (reference core-seconds)."""
+        voxels = buffer.tags.get("voxels", 0)
+        tris = buffer.tags.get("triangles", 0)
+        total = (
+            voxels * self.costs.extract_per_voxel
+            + tris * self.costs.extract_per_triangle
+            + self._r.triangle_cost(tris)
+        )
+        if self.algorithm == "active":
+            total += self._r.ap_entries(tris) * self.costs.ap_per_entry
+        return total
+
+    def react(self, buffer: DataBuffer):
+        """Buffers emitted in response to ``buffer``."""
+        if self.algorithm == "zbuffer":
+            return ()
+        entries = self._r.ap_entries(buffer.tags.get("triangles", 0))
+        return _emit_stream_buffers(
+            entries * WPA_ENTRY_BYTES, self.buffers.wpa, entries=entries
+        )
+
+    def flush_cost(self) -> float:
+        """CPU cost of end-of-work processing."""
+        if self.algorithm == "zbuffer":
+            return self._zb_bytes() * self.costs.zb_send_per_byte
+        return 0.0
+
+    def flush_outputs(self):
+        """Buffers emitted at end-of-work."""
+        if self.algorithm != "zbuffer":
+            return ()
+        return _emit_stream_buffers(
+            self._zb_bytes(),
+            self.buffers.zbuffer_slab,
+            entries=self._r.width * self._r.height,
+        )
+
+    def memory_bytes(self) -> int:
+        """Estimated resident memory of one copy."""
+        if self.algorithm == "zbuffer":
+            return self._zb_bytes() + self.buffers.read
+        return self.buffers.wpa + self._r.width * 4 + self.buffers.read
+
+    def _zb_bytes(self) -> int:
+        return self._r.width * self._r.height * ZBUFFER_ENTRY_BYTES
+
+
+class ReadExtractRasterSourceModel(SimSource):
+    """RERa: the whole per-node pipeline in one source filter."""
+
+    def __init__(
+        self,
+        profile: DatasetProfile,
+        storage: StorageMap,
+        timestep: int,
+        costs: CostParams,
+        buffers: BufferSizes,
+        width: int,
+        height: int,
+        algorithm: str,
+    ):
+        if algorithm not in ("zbuffer", "active"):
+            raise ConfigurationError(
+                f"algorithm must be 'zbuffer' or 'active', got {algorithm!r}"
+            )
+        self.profile = profile
+        self.storage = storage
+        self.timestep = timestep
+        self.costs = costs
+        self.buffers = buffers
+        self.algorithm = algorithm
+        self._r = _RasterCost(costs, width, height)
+
+    def items(self, ctx: FilterContext):
+        """Yield this copy's source work items (see SimSource)."""
+        files = self.storage.files_on(ctx.host)
+        for data_file, disk in files[ctx.copy_index :: ctx.copies_on_host]:
+            for i, chunk in enumerate(data_file.chunks):
+                tris = self.profile.triangles(self.timestep, chunk.chunk_id)
+                cpu = (
+                    chunk.nbytes * self.costs.read_per_byte
+                    + chunk.points * self.costs.extract_per_voxel
+                    + tris * self.costs.extract_per_triangle
+                    + self._r.triangle_cost(tris)
+                )
+                outs: list[DataBuffer] = []
+                if self.algorithm == "active":
+                    entries = self._r.ap_entries(tris)
+                    cpu += entries * self.costs.ap_per_entry
+                    outs = _emit_stream_buffers(
+                        entries * WPA_ENTRY_BYTES, self.buffers.wpa, entries=entries
+                    )
+                yield SourceItem(
+                    read_bytes=chunk.nbytes, disk_index=disk, cpu=cpu,
+                    sequential=i > 0, outputs=outs,
+                )
+
+    def flush_cost(self) -> float:
+        """CPU cost of end-of-work processing."""
+        if self.algorithm == "zbuffer":
+            return self._zb_bytes() * self.costs.zb_send_per_byte
+        return 0.0
+
+    def flush_outputs(self):
+        """Buffers emitted at end-of-work."""
+        if self.algorithm != "zbuffer":
+            return ()
+        return _emit_stream_buffers(
+            self._zb_bytes(),
+            self.buffers.zbuffer_slab,
+            entries=self._r.width * self._r.height,
+        )
+
+    def _zb_bytes(self) -> int:
+        return self._r.width * self._r.height * ZBUFFER_ENTRY_BYTES
+
+    def memory_bytes(self) -> int:
+        """Estimated resident memory of one copy."""
+        if self.algorithm == "zbuffer":
+            return self._zb_bytes()
+        return self.buffers.wpa + self._r.width * 4

@@ -1,0 +1,180 @@
+"""Rasterisation: fragment generation and the classic z-buffer.
+
+``triangle_fragments`` turns one screen-space triangle into covered pixels
+with interpolated depth (barycentric, pixel-centre sampling, clipped to the
+viewport).  :class:`ZBuffer` is the paper's first hidden-surface-removal
+method: a dense per-pixel (depth, colour) array, filled during the local
+rendering phase and shipped wholesale to the Merge filter at end-of-work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["triangle_fragments", "ZBuffer", "ZBufferSlab"]
+
+#: Bytes per z-buffer pixel on the wire: float32 depth + RGBX.
+ZBUFFER_ENTRY_BYTES = 8
+
+
+def triangle_fragments(
+    tri: np.ndarray, width: int, height: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rasterise one screen-space triangle.
+
+    Parameters
+    ----------
+    tri:
+        (3, 3) array; per vertex (pixel x, pixel y, depth).
+    width, height:
+        Viewport bounds; fragments outside are clipped.
+
+    Returns
+    -------
+    (pixels, depth): flat pixel indices (``y * width + x``) and their
+    interpolated depths.  Fragments with non-positive depth (behind the
+    camera) are dropped.
+    """
+    xs, ys, zs = tri[:, 0], tri[:, 1], tri[:, 2]
+    x0 = max(0, int(np.floor(xs.min())))
+    x1 = min(width - 1, int(np.ceil(xs.max())))
+    y0 = max(0, int(np.floor(ys.min())))
+    y1 = min(height - 1, int(np.ceil(ys.max())))
+    if x0 > x1 or y0 > y1:
+        return _EMPTY_FRAGS
+    denom = (ys[1] - ys[2]) * (xs[0] - xs[2]) + (xs[2] - xs[1]) * (ys[0] - ys[2])
+    if abs(denom) < 1e-12:
+        return _EMPTY_FRAGS  # degenerate (zero-area) triangle
+    px = np.arange(x0, x1 + 1, dtype=np.float64) + 0.5
+    py = np.arange(y0, y1 + 1, dtype=np.float64) + 0.5
+    gx, gy = np.meshgrid(px, py)
+    w0 = ((ys[1] - ys[2]) * (gx - xs[2]) + (xs[2] - xs[1]) * (gy - ys[2])) / denom
+    w1 = ((ys[2] - ys[0]) * (gx - xs[2]) + (xs[0] - xs[2]) * (gy - ys[2])) / denom
+    w2 = 1.0 - w0 - w1
+    inside = (w0 >= 0) & (w1 >= 0) & (w2 >= 0)
+    if not inside.any():
+        return _EMPTY_FRAGS
+    depth = w0 * zs[0] + w1 * zs[1] + w2 * zs[2]
+    inside &= depth > 0
+    iy, ix = np.nonzero(inside)
+    pixels = (iy + y0) * width + (ix + x0)
+    return pixels.astype(np.int64), depth[inside]
+
+
+_EMPTY_FRAGS = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+
+
+@dataclass
+class ZBufferSlab:
+    """A contiguous z-buffer range on the wire (one merge-stream buffer)."""
+
+    start: int  # first flat pixel index
+    depth: np.ndarray  # (n,) float32
+    color: np.ndarray  # (n, 3) uint8
+
+    @property
+    def nbytes(self) -> int:
+        """Wire size: one entry per pixel regardless of activity."""
+        return len(self.depth) * ZBUFFER_ENTRY_BYTES
+
+
+class ZBuffer:
+    """Dense per-pixel hidden-surface removal (paper Section 3.1.2).
+
+    The (depth, colour) pair at each pixel holds the foremost fragment seen
+    so far; ``merge`` combines buffers from transparent raster copies.
+    """
+
+    def __init__(self, width: int, height: int):
+        if width < 1 or height < 1:
+            raise ConfigurationError("z-buffer dimensions must be >= 1")
+        self.width = width
+        self.height = height
+        self.depth = np.full(width * height, np.inf, dtype=np.float32)
+        self.color = np.zeros((width * height, 3), dtype=np.uint8)
+        self.fragments_tested = 0
+        self.fragments_won = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Wire size of the full buffer."""
+        return self.width * self.height * ZBUFFER_ENTRY_BYTES
+
+    def rasterize(self, triangles: np.ndarray, colors: np.ndarray) -> None:
+        """Rasterise screen-space triangles (N, 3, 3) with (N, 3) colours."""
+        triangles = np.asarray(triangles)
+        if triangles.size == 0:
+            return
+        if len(colors) != len(triangles):
+            raise ConfigurationError("one colour per triangle required")
+        for tri, rgb in zip(triangles, colors):
+            pixels, depth = triangle_fragments(tri, self.width, self.height)
+            if pixels.size == 0:
+                continue
+            self.fragments_tested += pixels.size
+            wins = depth < self.depth[pixels]
+            if wins.any():
+                won = pixels[wins]
+                self.depth[won] = depth[wins]
+                self.color[won] = rgb
+                self.fragments_won += int(wins.sum())
+
+    def merge_entries(
+        self, pixels: np.ndarray, depth: np.ndarray, color: np.ndarray
+    ) -> None:
+        """Depth-test sparse entries (unique pixel indices) into the buffer."""
+        wins = depth < self.depth[pixels]
+        if wins.any():
+            won = pixels[wins]
+            self.depth[won] = depth[wins]
+            self.color[won] = color[wins]
+
+    def merge_slab(self, slab: ZBufferSlab) -> None:
+        """Depth-merge a contiguous slab (z-buffer pixel-merging phase)."""
+        sl = slice(slab.start, slab.start + len(slab.depth))
+        wins = slab.depth < self.depth[sl]
+        if wins.any():
+            self.depth[sl][wins] = slab.depth[wins]
+            self.color[sl][wins] = slab.color[wins]
+
+    def merge(self, other: "ZBuffer") -> None:
+        """Depth-merge another full z-buffer of the same size."""
+        if (other.width, other.height) != (self.width, self.height):
+            raise ConfigurationError("z-buffer size mismatch")
+        wins = other.depth < self.depth
+        self.depth[wins] = other.depth[wins]
+        self.color[wins] = other.color[wins]
+
+    def slabs(self, entries_per_buffer: int) -> list[ZBufferSlab]:
+        """Serialise the whole buffer into fixed-size contiguous slabs.
+
+        This is what a z-buffer raster copy sends at end-of-work: *every*
+        pixel, active or not (the paper notes the resulting communication
+        overhead).
+        """
+        if entries_per_buffer < 1:
+            raise ConfigurationError("entries_per_buffer must be >= 1")
+        out = []
+        total = self.width * self.height
+        for start in range(0, total, entries_per_buffer):
+            stop = min(start + entries_per_buffer, total)
+            out.append(
+                ZBufferSlab(
+                    start,
+                    self.depth[start:stop].copy(),
+                    self.color[start:stop].copy(),
+                )
+            )
+        return out
+
+    def active_pixels(self) -> int:
+        """Pixels with at least one fragment written."""
+        return int(np.isfinite(self.depth).sum())
+
+    def image(self) -> np.ndarray:
+        """The colour image, (height, width, 3) uint8."""
+        return self.color.reshape(self.height, self.width, 3)

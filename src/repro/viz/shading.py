@@ -1,0 +1,60 @@
+"""Triangle shading: flat Lambertian lighting for the Raster filter.
+
+The paper's raster filter performs "shading of triangles to produce a
+realistic image".  We shade per triangle (flat shading): two-sided
+Lambertian illumination from a directional light plus an ambient floor,
+modulating a base material colour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["triangle_normals", "shade_triangles"]
+
+
+def triangle_normals(triangles: np.ndarray) -> np.ndarray:
+    """Unit face normals of world-space triangles (N, 3, 3) -> (N, 3).
+
+    Degenerate triangles get a zero normal (they shade as ambient-only and
+    rasterise to nothing).
+    """
+    tris = np.asarray(triangles, dtype=np.float64)
+    if tris.size == 0:
+        return np.empty((0, 3), dtype=np.float64)
+    e1 = tris[:, 1] - tris[:, 0]
+    e2 = tris[:, 2] - tris[:, 0]
+    n = np.cross(e1, e2)
+    length = np.linalg.norm(n, axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        unit = np.where(length > 1e-20, n / length, 0.0)
+    return unit
+
+
+def shade_triangles(
+    triangles: np.ndarray,
+    light_direction: tuple[float, float, float] = (0.4, -0.5, 0.8),
+    base_color: tuple[int, int, int] = (90, 160, 230),
+    ambient: float = 0.25,
+) -> np.ndarray:
+    """Flat-shade triangles; returns (N, 3) uint8 RGB per triangle.
+
+    Lighting is two-sided (``|n . l|``) so surface orientation does not
+    matter — transparent filter copies process triangles in arbitrary
+    order and subsets, so shading must not depend on winding conventions.
+    """
+    if not 0.0 <= ambient <= 1.0:
+        raise ConfigurationError(f"ambient must be in [0, 1], got {ambient}")
+    light = np.asarray(light_direction, dtype=np.float64)
+    norm = np.linalg.norm(light)
+    if norm == 0:
+        raise ConfigurationError("light direction must be non-zero")
+    light /= norm
+    normals = triangle_normals(triangles)
+    lambert = np.abs(normals @ light)
+    intensity = ambient + (1.0 - ambient) * lambert
+    base = np.asarray(base_color, dtype=np.float64)
+    rgb = np.clip(intensity[:, None] * base[None, :], 0, 255)
+    return rgb.astype(np.uint8)

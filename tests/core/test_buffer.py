@@ -1,0 +1,53 @@
+"""Unit tests for DataBuffer and buffer chunking."""
+
+import pytest
+
+from repro.core.buffer import DataBuffer, chunk_bytes
+
+
+def test_buffer_basic():
+    buf = DataBuffer(1024, payload=[1, 2], tags={"chunk": 7})
+    assert buf.nbytes == 1024
+    assert buf.payload == [1, 2]
+    assert buf.tags["chunk"] == 7
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        DataBuffer(-1)
+
+
+def test_with_tags_merges_without_mutating():
+    buf = DataBuffer(10, tags={"a": 1})
+    buf2 = buf.with_tags(b=2)
+    assert buf2.tags == {"a": 1, "b": 2}
+    assert buf.tags == {"a": 1}
+    assert buf2.nbytes == 10
+
+
+def test_chunk_bytes_exact_division():
+    assert chunk_bytes(400, 100) == [100, 100, 100, 100]
+
+
+def test_chunk_bytes_remainder():
+    assert chunk_bytes(450, 100) == [100, 100, 100, 100, 50]
+
+
+def test_chunk_bytes_smaller_than_buffer():
+    assert chunk_bytes(42, 100) == [42]
+
+
+def test_chunk_bytes_zero():
+    assert chunk_bytes(0, 100) == []
+
+
+def test_chunk_bytes_validation():
+    with pytest.raises(ValueError):
+        chunk_bytes(100, 0)
+    with pytest.raises(ValueError):
+        chunk_bytes(-1, 10)
+
+
+def test_chunk_bytes_conserves_total():
+    for total in (0, 1, 99, 100, 101, 12345):
+        assert sum(chunk_bytes(total, 100)) == total

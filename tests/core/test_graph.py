@@ -1,0 +1,124 @@
+"""Unit tests for FilterGraph construction and validation."""
+
+import pytest
+
+from repro.core.graph import FilterGraph
+from repro.errors import GraphError
+
+
+def pipeline_graph():
+    g = FilterGraph()
+    g.add_filter("read", is_source=True)
+    g.add_filter("extract")
+    g.add_filter("raster")
+    g.add_filter("merge")
+    g.connect("read", "extract")
+    g.connect("extract", "raster")
+    g.connect("raster", "merge")
+    return g
+
+
+def test_pipeline_builds_and_validates():
+    g = pipeline_graph()
+    g.validate()
+    assert [f.name for f in g.sources()] == ["read"]
+    assert [f.name for f in g.sinks()] == ["merge"]
+    assert g.topological_order() == ["read", "extract", "raster", "merge"]
+
+
+def test_stream_default_names():
+    g = pipeline_graph()
+    assert set(g.streams) == {"read->extract", "extract->raster", "raster->merge"}
+
+
+def test_duplicate_filter_rejected():
+    g = FilterGraph()
+    g.add_filter("a", is_source=True)
+    with pytest.raises(GraphError):
+        g.add_filter("a")
+
+
+def test_empty_name_rejected():
+    g = FilterGraph()
+    with pytest.raises(GraphError):
+        g.add_filter("")
+
+
+def test_unknown_endpoint_rejected():
+    g = FilterGraph()
+    g.add_filter("a", is_source=True)
+    with pytest.raises(GraphError):
+        g.connect("a", "missing")
+
+
+def test_self_loop_rejected():
+    g = FilterGraph()
+    g.add_filter("a", is_source=True)
+    with pytest.raises(GraphError):
+        g.connect("a", "a")
+
+
+def test_duplicate_stream_name_rejected():
+    g = FilterGraph()
+    g.add_filter("a", is_source=True)
+    g.add_filter("b")
+    g.add_filter("c")
+    g.connect("a", "b", name="s")
+    with pytest.raises(GraphError):
+        g.connect("a", "c", name="s")
+
+
+def test_cycle_detected():
+    g = FilterGraph()
+    g.add_filter("a", is_source=True)
+    g.add_filter("b")
+    g.add_filter("c")
+    g.connect("a", "b")
+    g.connect("b", "c")
+    g.connect("c", "b")
+    with pytest.raises(GraphError, match="cycle"):
+        g.validate()
+
+
+def test_orphan_non_source_rejected():
+    g = FilterGraph()
+    g.add_filter("lonely")  # no inputs, not marked source
+    with pytest.raises(GraphError, match="is_source"):
+        g.validate()
+
+
+def test_source_with_inputs_rejected():
+    g = FilterGraph()
+    g.add_filter("a", is_source=True)
+    g.add_filter("b", is_source=True)
+    g.connect("a", "b")
+    with pytest.raises(GraphError, match="must not have inputs"):
+        g.validate()
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(GraphError, match="no filters"):
+        FilterGraph().validate()
+
+
+def test_upstream_of():
+    g = pipeline_graph()
+    assert g.upstream_of("raster") == {"read", "extract"}
+    assert g.upstream_of("read") == set()
+    with pytest.raises(GraphError):
+        g.upstream_of("nope")
+
+
+def test_fan_out_and_fan_in():
+    g = FilterGraph()
+    g.add_filter("src", is_source=True)
+    g.add_filter("a")
+    g.add_filter("b")
+    g.add_filter("sink")
+    g.connect("src", "a")
+    g.connect("src", "b")
+    g.connect("a", "sink")
+    g.connect("b", "sink")
+    g.validate()
+    assert len(g.filters["src"].outputs) == 2
+    assert len(g.filters["sink"].inputs) == 2

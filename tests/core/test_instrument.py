@@ -1,0 +1,72 @@
+"""Unit tests for run instrumentation."""
+
+import pytest
+
+from repro.core.instrument import RunMetrics, StreamStats
+
+
+def test_stream_stats_record():
+    stats = StreamStats()
+    stats.record("a", "b", 100)
+    stats.record("a", "b", 50)
+    stats.record("a", "c", 25)
+    assert stats.buffers == 3
+    assert stats.bytes == 175
+    assert stats.by_route[("a", "b")] == 2
+    assert stats.by_route[("a", "c")] == 1
+    assert stats.by_dst_host == {"b": 2, "c": 1}
+
+
+def test_metrics_new_copy_and_filter_aggregates():
+    metrics = RunMetrics()
+    c1 = metrics.new_copy("Ra", "h0", 0)
+    c2 = metrics.new_copy("Ra", "h1", 0)
+    c3 = metrics.new_copy("M", "h0", 0)
+    c1.busy_time = 2.0
+    c1.io_time = 0.5
+    c1.buffers_in = 10
+    c2.busy_time = 3.0
+    c2.buffers_in = 20
+    c3.busy_time = 1.0
+    assert metrics.filter_busy_time("Ra") == pytest.approx(5.0)
+    assert metrics.filter_io_time("Ra") == pytest.approx(0.5)
+    assert metrics.filter_buffers_in("Ra") == 30
+    assert metrics.filter_busy_time("M") == pytest.approx(1.0)
+    assert metrics.filter_busy_time("missing") == 0.0
+
+
+def test_stream_totals_missing_stream():
+    metrics = RunMetrics()
+    assert metrics.stream_totals("nope") == (0, 0)
+    metrics.streams["s"].record("a", "b", 7)
+    assert metrics.stream_totals("s") == (1, 7)
+
+
+def test_buffers_per_copy_by_class():
+    metrics = RunMetrics()
+    for host, n in (("rogue0", 10), ("rogue1", 20), ("blue0", 40)):
+        copy = metrics.new_copy("Ra", host, 0)
+        copy.buffers_in = n
+    classes = {"rogue0": "rogue", "rogue1": "rogue", "blue0": "blue"}
+    result = metrics.buffers_per_copy_by_class("Ra", classes)
+    assert result == {"rogue": 15.0, "blue": 40.0}
+
+
+def test_buffers_per_copy_unknown_host_uses_host_name():
+    metrics = RunMetrics()
+    metrics.new_copy("Ra", "mystery", 0).buffers_in = 5
+    result = metrics.buffers_per_copy_by_class("Ra", {})
+    assert result == {"mystery": 5.0}
+
+
+def test_summary_shape():
+    metrics = RunMetrics()
+    metrics.new_copy("f", "h", 0)
+    metrics.streams["s"].record("h", "h", 9)
+    metrics.makespan = 1.5
+    metrics.ack_messages = 3
+    summary = metrics.summary()
+    assert summary["makespan"] == 1.5
+    assert summary["streams"] == {"s": (1, 9)}
+    assert summary["filters"] == ["f"]
+    assert summary["ack_messages"] == 3

@@ -1,0 +1,106 @@
+"""Tests for stream buffer-size negotiation."""
+
+import pytest
+
+from repro.core.graph import FilterGraph
+from repro.core.negotiate import BufferBounds, declare_bounds, negotiate
+from repro.errors import GraphError
+
+
+def graph():
+    g = FilterGraph()
+    g.add_filter("a", is_source=True)
+    g.add_filter("b")
+    g.add_filter("c")
+    g.connect("a", "b")
+    g.connect("b", "c")
+    return g
+
+
+def test_bounds_validation():
+    with pytest.raises(GraphError):
+        BufferBounds(0)
+    with pytest.raises(GraphError):
+        BufferBounds(100, 50)
+    BufferBounds(100, 100)  # min == max allowed
+
+
+def test_default_when_nothing_disclosed():
+    sizes = negotiate(graph(), default=4096)
+    assert sizes == {"a->b": 4096, "b->c": 4096}
+
+
+def test_minimum_raises_size():
+    g = graph()
+    declare_bounds(g, "b", "a->b", minimum=10_000)
+    sizes = negotiate(g, default=4096)
+    assert sizes["a->b"] == 10_000
+    assert sizes["b->c"] == 4096
+
+
+def test_maximum_caps_default():
+    g = graph()
+    declare_bounds(g, "a", "a->b", minimum=1, maximum=2048)
+    assert negotiate(g, default=65536)["a->b"] == 2048
+
+
+def test_largest_minimum_wins():
+    g = graph()
+    declare_bounds(g, "a", "a->b", minimum=1000)
+    declare_bounds(g, "b", "a->b", minimum=3000)
+    # With a small runtime default, the strictest disclosed minimum rules.
+    assert negotiate(g, default=1024)["a->b"] == 3000
+
+
+def test_min_equals_max_pins_size():
+    g = graph()
+    declare_bounds(g, "a", "a->b", minimum=2 << 20, maximum=2 << 20)
+    assert negotiate(g)["a->b"] == 2 << 20
+
+
+def test_incompatible_disclosures_rejected():
+    g = graph()
+    declare_bounds(g, "a", "a->b", minimum=1, maximum=100)
+    declare_bounds(g, "b", "a->b", minimum=500)
+    with pytest.raises(GraphError, match="exceeds"):
+        negotiate(g)
+
+
+def test_declare_validation():
+    g = graph()
+    with pytest.raises(GraphError):
+        declare_bounds(g, "ghost", "a->b", 10)
+    with pytest.raises(GraphError):
+        declare_bounds(g, "a", "nope", 10)
+    with pytest.raises(GraphError):
+        declare_bounds(g, "c", "a->b", 10)  # not an endpoint
+
+
+def test_bad_default_rejected():
+    with pytest.raises(GraphError):
+        negotiate(graph(), default=0)
+
+
+def test_app_level_negotiation_feeds_models():
+    """The isosurface app's negotiated sizes drive the model buffers."""
+    from repro.data import HostDisks, StorageMap
+    from repro.viz.app import IsosurfaceApp
+    from repro.viz.models import BufferSizes
+    from repro.viz.profile import DatasetProfile
+
+    profile = DatasetProfile.synthetic(
+        "n", (17, 17, 17), nchunks=8, nfiles=4, timesteps=1,
+        total_triangles=1000, seed=0,
+    )
+    storage = StorageMap.balanced(profile.files, [HostDisks("h")])
+    app = IsosurfaceApp(
+        profile, storage, width=256, height=256, algorithm="zbuffer",
+        buffers=BufferSizes(read=100_000, triangles=50_000,
+                            zbuffer_slab=1 << 20, wpa=8192),
+    )
+    g = app.graph("R-E-Ra-M")
+    # The z-buffer raster pinned its merge stream; sizes flowed to models.
+    raster_model = g.filters["Ra"].sim_factory()
+    assert raster_model.buffers.zbuffer_slab == 1 << 20
+    read_model = g.filters["R"].sim_factory()
+    assert read_model.buffers.read == 100_000

@@ -1,0 +1,57 @@
+"""Property tests for buffer-size negotiation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph import FilterGraph
+from repro.core.negotiate import declare_bounds, negotiate
+from repro.errors import GraphError
+
+
+@st.composite
+def disclosures(draw):
+    """A 2-filter graph plus a random set of consistent-or-not disclosures."""
+    entries = []
+    for who in ("a", "b"):
+        if draw(st.booleans()):
+            minimum = draw(st.integers(min_value=1, max_value=10_000))
+            has_max = draw(st.booleans())
+            maximum = (
+                draw(st.integers(min_value=minimum, max_value=20_000))
+                if has_max
+                else None
+            )
+            entries.append((who, minimum, maximum))
+    default = draw(st.integers(min_value=1, max_value=10_000))
+    return entries, default
+
+
+@given(disclosures())
+@settings(max_examples=120, deadline=None)
+def test_negotiated_size_within_every_disclosure(setup):
+    entries, default = setup
+    g = FilterGraph()
+    g.add_filter("a", is_source=True)
+    g.add_filter("b")
+    g.connect("a", "b")
+    feasible_floor = max((m for _w, m, _x in entries), default=1)
+    ceilings = [x for _w, _m, x in entries if x is not None]
+    feasible_ceiling = min(ceilings) if ceilings else None
+    for who, minimum, maximum in entries:
+        declare_bounds(g, who, "a->b", minimum, maximum)
+
+    if feasible_ceiling is not None and feasible_floor > feasible_ceiling:
+        try:
+            negotiate(g, default=default)
+        except GraphError:
+            return
+        raise AssertionError("infeasible disclosures must raise")
+
+    size = negotiate(g, default=default)["a->b"]
+    for _who, minimum, maximum in entries:
+        assert size >= minimum
+        if maximum is not None:
+            assert size <= maximum
+    # Never inflate beyond what someone asked for: size is the default
+    # unless a minimum pushes above it or a maximum caps it.
+    assert size >= min(default, size)

@@ -1,0 +1,135 @@
+"""Unit tests for the RateBased (extension) writer policy."""
+
+import pytest
+
+from repro.core.policies import RateBased, Target, make_policy_factory
+from repro.errors import ConfigurationError
+
+
+def targets(*hosts, local_host=None):
+    return [
+        Target(i, h, 1, local=(h == local_host)) for i, h in enumerate(hosts)
+    ]
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def test_probes_unmeasured_targets_first():
+    policy = RateBased()
+    policy.clock = FakeClock()
+    tgts = targets("a", "b", "c")
+    policy.bind(tgts)
+    probed = set()
+    for _ in range(3):
+        pick = policy.select()
+        probed.add(pick.host)
+        policy.on_sent(pick)
+    assert probed == {"a", "b", "c"}
+
+
+def test_prefers_faster_target_after_measurement():
+    policy = RateBased(alpha=1.0)
+    clock = FakeClock()
+    policy.clock = clock
+    tgts = targets("slow", "fast")
+    policy.bind(tgts)
+    # Probe both at t=0.
+    for _ in range(2):
+        policy.on_sent(policy.select())
+    # fast acks after 1s, slow after 10s.
+    clock.t = 1.0
+    policy.on_ack(tgts[1])
+    clock.t = 10.0
+    policy.on_ack(tgts[0])
+    # Now fast (score 1) should win over slow (score 10), repeatedly up to
+    # the point where fast's outstanding count makes slow cheaper.
+    first = policy.select()
+    assert first.host == "fast"
+    sent = {"slow": 0, "fast": 0}
+    for _ in range(9):
+        pick = policy.select()
+        policy.on_sent(pick)
+        sent[pick.host] += 1
+    assert sent["fast"] > sent["slow"]
+
+
+def test_window_blocks():
+    policy = RateBased(window=2)
+    policy.clock = FakeClock()
+    tgts = targets("only")
+    policy.bind(tgts)
+    policy.on_sent(policy.select())
+    policy.on_sent(policy.select())
+    assert policy.select() is None
+    policy.on_ack(tgts[0])
+    assert policy.select() is not None
+
+
+def test_ewma_update():
+    policy = RateBased(alpha=0.5)
+    clock = FakeClock()
+    policy.clock = clock
+    tgts = targets("t")
+    policy.bind(tgts)
+    policy.on_sent(tgts[0])
+    clock.t = 4.0
+    policy.on_ack(tgts[0])  # first sample: ewma = 4
+    policy.on_sent(tgts[0])
+    clock.t = 6.0
+    policy.on_ack(tgts[0])  # sample 2: ewma = 0.5*2 + 0.5*4 = 3
+    assert policy._ewma[0] == pytest.approx(3.0)
+
+
+def test_local_tiebreak_on_equal_scores():
+    policy = RateBased()
+    policy.clock = FakeClock()
+    policy.bind(targets("remote", "local", local_host="local"))
+    assert policy.select().host == "local"  # both unmeasured -> score 0 tie
+
+
+def test_spurious_ack_rejected():
+    policy = RateBased()
+    policy.clock = FakeClock()
+    tgts = targets("a")
+    policy.bind(tgts)
+    with pytest.raises(ConfigurationError):
+        policy.on_ack(tgts[0])
+
+
+def test_constructor_validation():
+    with pytest.raises(ConfigurationError):
+        RateBased(window=0)
+    with pytest.raises(ConfigurationError):
+        RateBased(alpha=0.0)
+    with pytest.raises(ConfigurationError):
+        RateBased(alpha=1.5)
+
+
+def test_registered_in_factory():
+    policy = make_policy_factory("rate", window=3)()
+    assert isinstance(policy, RateBased)
+    assert policy.window == 3
+
+
+def test_fifo_send_ack_matching():
+    # Acks consume send timestamps in order (FIFO per target).
+    policy = RateBased(alpha=1.0)
+    clock = FakeClock()
+    policy.clock = clock
+    tgts = targets("t")
+    policy.bind(tgts)
+    policy.on_sent(tgts[0])  # sent at t=0
+    clock.t = 1.0
+    policy.on_sent(tgts[0])  # sent at t=1
+    clock.t = 5.0
+    policy.on_ack(tgts[0])  # matches the t=0 send -> latency 5
+    assert policy._ewma[0] == pytest.approx(5.0)
+    clock.t = 6.0
+    policy.on_ack(tgts[0])  # matches the t=1 send -> latency 5
+    assert policy._ewma[0] == pytest.approx(5.0)

@@ -1,0 +1,104 @@
+"""Tests for grid partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.chunks import partition_counts, partition_grid
+from repro.errors import DataError
+
+
+def test_partition_counts_exact_cube():
+    assert partition_counts((65, 65, 65), 8) == (2, 2, 2)
+
+
+def test_partition_counts_paper_1536():
+    counts = partition_counts((209, 209, 209), 1536)
+    cz, cy, cx = counts
+    assert cz * cy * cx == 1536
+
+
+def test_partition_counts_elongated_grid():
+    cz, cy, cx = partition_counts((9, 65, 129), 16)
+    assert cz * cy * cx == 16
+    # More chunks along longer axes.
+    assert cx >= cy >= cz
+
+
+def test_partition_counts_impossible():
+    with pytest.raises(DataError):
+        partition_counts((3, 3, 3), 1000)
+    with pytest.raises(DataError):
+        partition_counts((5, 5, 5), 0)
+
+
+def test_partition_grid_covers_all_cells():
+    shape = (9, 9, 9)
+    chunks = partition_grid(shape, (2, 2, 2), overlap=1)
+    assert len(chunks) == 8
+    covered = np.zeros(tuple(s - 1 for s in shape), dtype=int)
+    for c in chunks:
+        sl = tuple(slice(a, b - 1) for a, b in zip(c.start, c.stop))
+        covered[sl] += 1
+    # Every cell belongs to exactly one chunk's interior cell range.
+    assert covered.min() == 1
+    assert covered.max() == 1
+
+
+def test_partition_grid_ids_and_indices():
+    chunks = partition_grid((5, 5, 5), (2, 2, 1))
+    assert [c.chunk_id for c in chunks] == list(range(4))
+    assert chunks[0].index == (0, 0, 0)
+    assert chunks[-1].index == (1, 1, 0)
+
+
+def test_chunk_geometry():
+    chunks = partition_grid((9, 9, 9), (2, 2, 2), overlap=1)
+    first = chunks[0]
+    assert first.start == (0, 0, 0)
+    assert first.stop == (5, 5, 5)
+    assert first.shape == (5, 5, 5)
+    assert first.points == 125
+    assert first.nbytes == 500
+    sl = first.slices()
+    assert sl == (slice(0, 5), slice(0, 5), slice(0, 5))
+
+
+def test_partition_grid_without_overlap():
+    chunks = partition_grid((9, 9, 9), (2, 2, 2), overlap=0)
+    first = chunks[0]
+    assert first.stop == (4, 4, 4)
+
+
+def test_partition_grid_validation():
+    with pytest.raises(DataError):
+        partition_grid((9, 9), (2, 2, 2))  # bad shape
+    with pytest.raises(DataError):
+        partition_grid((9, 9, 9), (2, 2, 2), overlap=-1)
+    with pytest.raises(DataError):
+        partition_grid((9, 9, 9), (0, 2, 2))
+    with pytest.raises(DataError):
+        partition_grid((1, 9, 9), (1, 1, 1))  # extent < 2
+    with pytest.raises(DataError):
+        partition_grid((3, 9, 9), (5, 1, 1))  # more chunks than cells
+
+
+@given(
+    shape=st.tuples(*[st.integers(min_value=3, max_value=20)] * 3),
+    counts=st.tuples(*[st.integers(min_value=1, max_value=3)] * 3),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_cell_cover(shape, counts):
+    for s, c in zip(shape, counts):
+        if c > s - 1:
+            return  # invalid combination; rejected by the API
+    chunks = partition_grid(shape, counts, overlap=1)
+    covered = np.zeros(tuple(s - 1 for s in shape), dtype=int)
+    for c in chunks:
+        sl = tuple(slice(a, b - 1) for a, b in zip(c.start, c.stop))
+        covered[sl] += 1
+    assert covered.min() == 1 and covered.max() == 1
+    # Chunk bytes are positive and ids unique.
+    assert len({c.chunk_id for c in chunks}) == len(chunks)
+    assert all(c.nbytes > 0 for c in chunks)

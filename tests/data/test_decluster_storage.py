@@ -1,0 +1,127 @@
+"""Tests for Hilbert declustering and storage maps."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.chunks import partition_grid
+from repro.data.decluster import decluster
+from repro.data.storage import HostDisks, StorageMap
+from repro.errors import DataError
+
+
+def chunks_8x8x8():
+    return partition_grid((17, 17, 17), (4, 4, 4))
+
+
+def test_decluster_partitions_all_chunks():
+    chunks = chunks_8x8x8()
+    files = decluster(chunks, 8)
+    assert len(files) == 8
+    all_ids = sorted(c.chunk_id for f in files for c in f.chunks)
+    assert all_ids == [c.chunk_id for c in chunks]
+
+
+def test_decluster_balanced_sizes():
+    files = decluster(chunks_8x8x8(), 8)
+    sizes = [len(f.chunks) for f in files]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_decluster_spatial_spread():
+    # Hilbert dealing: each file's chunks should be spread through space,
+    # not clustered in one octant.  Check every file touches >= 3 distinct
+    # z-layers of the 4^3 chunk grid.
+    files = decluster(chunks_8x8x8(), 8)
+    for f in files:
+        z_layers = {c.index[0] for c in f.chunks}
+        assert len(z_layers) >= 3
+
+
+def test_decluster_validation():
+    with pytest.raises(DataError):
+        decluster([], 4)
+    with pytest.raises(DataError):
+        decluster(chunks_8x8x8(), 0)
+
+
+def test_decluster_single_file():
+    chunks = chunks_8x8x8()
+    files = decluster(chunks, 1)
+    assert len(files[0].chunks) == len(chunks)
+    assert files[0].nbytes == sum(c.nbytes for c in chunks)
+
+
+def test_balanced_storage_round_robin():
+    files = decluster(chunks_8x8x8(), 8)
+    targets = [HostDisks("a", 2), HostDisks("b", 2)]
+    smap = StorageMap.balanced(files, targets)
+    assert smap.total_files() == 8
+    dist = smap.distribution()
+    assert dist == {"a": 4, "b": 4}
+    # Each disk gets 2 files.
+    for host in ("a", "b"):
+        disks = [d for _f, d in smap.files_on(host)]
+        assert sorted(disks) == [0, 0, 1, 1]
+
+
+def test_skew_moves_fraction():
+    files = decluster(chunks_8x8x8(), 8)
+    smap = StorageMap.balanced(files, [HostDisks("blue"), HostDisks("rogue")])
+    assert smap.distribution() == {"blue": 4, "rogue": 4}
+    skewed = smap.skew(["blue"], [HostDisks("rogue", 2)], fraction=0.5)
+    assert skewed.distribution() == {"blue": 2, "rogue": 6}
+    # Original map unchanged.
+    assert smap.distribution() == {"blue": 4, "rogue": 4}
+
+
+def test_skew_full_move():
+    files = decluster(chunks_8x8x8(), 8)
+    smap = StorageMap.balanced(files, [HostDisks("blue"), HostDisks("rogue")])
+    skewed = smap.skew(["blue"], [HostDisks("rogue")], fraction=1.0)
+    assert skewed.distribution() == {"rogue": 8}
+
+
+def test_skew_validation():
+    files = decluster(chunks_8x8x8(), 4)
+    smap = StorageMap.balanced(files, [HostDisks("a")])
+    with pytest.raises(DataError):
+        smap.skew(["a"], [HostDisks("b")], fraction=1.5)
+    with pytest.raises(DataError):
+        smap.skew(["a"], [], fraction=0.5)
+
+
+def test_location_lookup():
+    files = decluster(chunks_8x8x8(), 4)
+    smap = StorageMap.balanced(files, [HostDisks("a", 1), HostDisks("b", 1)])
+    host, disk = smap.location(files[0].file_id)
+    assert host in ("a", "b")
+    with pytest.raises(DataError):
+        smap.location(999)
+
+
+def test_bytes_on_host():
+    files = decluster(chunks_8x8x8(), 4)
+    smap = StorageMap.balanced(files, [HostDisks("a")])
+    assert smap.bytes_on("a") == sum(f.nbytes for f in files)
+    assert smap.bytes_on("ghost") == 0
+
+
+def test_host_disks_validation():
+    with pytest.raises(DataError):
+        HostDisks("h", 0)
+
+
+@given(
+    nfiles=st.integers(min_value=1, max_value=30),
+    counts=st.tuples(*[st.integers(min_value=1, max_value=4)] * 3),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_decluster_is_partition(nfiles, counts):
+    shape = tuple(max(3, c * 3) for c in counts)
+    chunks = partition_grid(shape, counts)
+    files = decluster(chunks, nfiles)
+    ids = sorted(c.chunk_id for f in files for c in f.chunks)
+    assert ids == sorted(c.chunk_id for c in chunks)
+    sizes = [len(f.chunks) for f in files]
+    assert max(sizes) - min(sizes) <= 1

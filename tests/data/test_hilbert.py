@@ -1,0 +1,103 @@
+"""Tests for the Hilbert curve, including hypothesis property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.hilbert import hilbert_index, hilbert_point, hilbert_sort_key
+from repro.errors import DataError
+
+
+def test_known_2d_order1():
+    # Order-1 2D Hilbert curve visits (0,0),(0,1),(1,1),(1,0) (one of the
+    # standard reflections); verify it is a bijection with unit steps.
+    pts = [hilbert_point(i, 1, 2) for i in range(4)]
+    assert len(set(pts)) == 4
+    for a, b in zip(pts, pts[1:]):
+        assert sum(abs(p - q) for p, q in zip(a, b)) == 1
+
+
+def test_roundtrip_3d_order2():
+    n = 4
+    for x in range(n):
+        for y in range(n):
+            for z in range(n):
+                i = hilbert_index((x, y, z), 2)
+                assert hilbert_point(i, 2, 3) == (x, y, z)
+
+
+def test_bijection_3d_order3():
+    n = 8
+    seen = {
+        hilbert_index((x, y, z), 3)
+        for x in range(n)
+        for y in range(n)
+        for z in range(n)
+    }
+    assert seen == set(range(n**3))
+
+
+def test_adjacency_3d_order3():
+    for i in range(8**3 - 1):
+        a = hilbert_point(i, 3, 3)
+        b = hilbert_point(i + 1, 3, 3)
+        assert sum(abs(p - q) for p, q in zip(a, b)) == 1
+
+
+def test_out_of_range_coordinate_rejected():
+    with pytest.raises(DataError):
+        hilbert_index((8, 0, 0), 3)
+    with pytest.raises(DataError):
+        hilbert_index((-1, 0), 3)
+
+
+def test_out_of_range_index_rejected():
+    with pytest.raises(DataError):
+        hilbert_point(64, 1, 3)  # order 1, ndim 3 -> max index 7
+    with pytest.raises(DataError):
+        hilbert_point(-1, 2, 2)
+
+
+def test_bad_order_rejected():
+    with pytest.raises(DataError):
+        hilbert_index((0, 0), 0)
+    with pytest.raises(DataError):
+        hilbert_point(0, 0, 2)
+
+
+def test_sort_key():
+    key = hilbert_sort_key(2)
+    pts = [(x, y) for x in range(4) for y in range(4)]
+    ordered = sorted(pts, key=key)
+    for a, b in zip(ordered, ordered[1:]):
+        assert sum(abs(p - q) for p, q in zip(a, b)) == 1
+
+
+@given(
+    order=st.integers(min_value=1, max_value=6),
+    ndim=st.integers(min_value=1, max_value=4),
+    data=st.data(),
+)
+@settings(max_examples=150, deadline=None)
+def test_property_roundtrip(order, ndim, data):
+    coords = tuple(
+        data.draw(st.integers(min_value=0, max_value=(1 << order) - 1))
+        for _ in range(ndim)
+    )
+    index = hilbert_index(coords, order)
+    assert 0 <= index < (1 << (order * ndim))
+    assert hilbert_point(index, order, ndim) == coords
+
+
+@given(
+    order=st.integers(min_value=1, max_value=5),
+    ndim=st.integers(min_value=2, max_value=3),
+    data=st.data(),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_unit_steps(order, ndim, data):
+    top = (1 << (order * ndim)) - 2
+    i = data.draw(st.integers(min_value=0, max_value=top))
+    a = hilbert_point(i, order, ndim)
+    b = hilbert_point(i + 1, order, ndim)
+    assert sum(abs(p - q) for p, q in zip(a, b)) == 1

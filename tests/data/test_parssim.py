@@ -1,0 +1,87 @@
+"""Tests for the synthetic ParSSim-like dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.chunks import partition_grid
+from repro.data.parssim import ParSSimDataset
+from repro.errors import DataError
+
+
+def small():
+    return ParSSimDataset((17, 17, 17), timesteps=4, species=2, seed=42)
+
+
+def test_field_shape_and_dtype():
+    ds = small()
+    f = ds.field(0, 0)
+    assert f.shape == (17, 17, 17)
+    assert f.dtype == np.float32
+
+
+def test_values_positive_and_bounded():
+    ds = small()
+    f = ds.field(1, 1)
+    assert f.min() >= 0.0
+    assert f.max() < 10.0
+    assert f.max() > 0.01  # plumes actually present
+
+
+def test_deterministic_given_seed():
+    a = ParSSimDataset((9, 9, 9), seed=7).field(3, 2)
+    b = ParSSimDataset((9, 9, 9), seed=7).field(3, 2)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = ParSSimDataset((9, 9, 9), seed=1).field(0, 0)
+    b = ParSSimDataset((9, 9, 9), seed=2).field(0, 0)
+    assert not np.array_equal(a, b)
+
+
+def test_field_evolves_over_time():
+    ds = small()
+    assert not np.array_equal(ds.field(0, 0), ds.field(3, 0))
+
+
+def test_species_differ():
+    ds = small()
+    assert not np.array_equal(ds.field(0, 0), ds.field(0, 1))
+
+
+def test_chunk_field_matches_full_field_slice():
+    ds = small()
+    chunks = partition_grid(ds.shape, (2, 2, 2), overlap=1)
+    full = ds.field(2, 1)
+    for chunk in chunks:
+        sub = ds.chunk_field(chunk, 2, 1)
+        np.testing.assert_array_equal(sub, full[chunk.slices()])
+
+
+def test_size_accounting():
+    ds = ParSSimDataset((10, 10, 10), timesteps=3, species=2)
+    assert ds.points_per_field == 1000
+    assert ds.bytes_per_field == 4000
+    assert ds.total_bytes == 4000 * 3 * 2
+
+
+def test_bad_arguments():
+    with pytest.raises(DataError):
+        ParSSimDataset((1, 10, 10))
+    with pytest.raises(DataError):
+        ParSSimDataset((10, 10, 10), timesteps=0)
+    ds = small()
+    with pytest.raises(DataError):
+        ds.field(99, 0)
+    with pytest.raises(DataError):
+        ds.field(0, 99)
+
+
+def test_mass_roughly_conserved_over_time():
+    # Dispersion spreads plumes but total mass (field integral) should stay
+    # within a factor ~2 across the stored window (plumes may partially
+    # advect out of the domain).
+    ds = ParSSimDataset((33, 33, 33), timesteps=8, seed=3)
+    m0 = float(ds.field(0, 0).sum())
+    m7 = float(ds.field(7, 0).sum())
+    assert 0.3 * m0 < m7 < 2.0 * m0

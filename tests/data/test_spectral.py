@@ -1,0 +1,117 @@
+"""Tests for the spectral (turbulence-like) dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.chunks import partition_grid
+from repro.data.spectral import SpectralDataset
+from repro.errors import DataError
+from repro.viz.marching_cubes import extract_triangles
+
+
+def small():
+    return SpectralDataset((16, 16, 16), timesteps=3, species=2, seed=4)
+
+
+def test_field_shape_and_normalisation():
+    f = small().field(0, 0)
+    assert f.shape == (16, 16, 16)
+    assert f.dtype == np.float32
+    assert abs(float(f.mean())) < 0.05
+    assert float(f.std()) == pytest.approx(1.0, rel=1e-3)
+
+
+def test_deterministic():
+    a = SpectralDataset((16, 16, 16), seed=9).field(1, 0)
+    b = SpectralDataset((16, 16, 16), seed=9).field(1, 0)
+    np.testing.assert_array_equal(a, b)
+    c = SpectralDataset((16, 16, 16), seed=10).field(1, 0)
+    assert not np.array_equal(a, c)
+
+
+def test_timesteps_advect_pattern():
+    ds = small()
+    f0, f1 = ds.field(0, 0), ds.field(1, 0)
+    assert not np.array_equal(f0, f1)
+    # Frozen advection preserves the value distribution (same std/extremes
+    # up to interpolation): compare histograms loosely.
+    assert float(f1.std()) == pytest.approx(float(f0.std()), rel=1e-3)
+
+
+def test_species_independent():
+    ds = small()
+    assert not np.array_equal(ds.field(0, 0), ds.field(0, 1))
+
+
+def test_chunk_field_matches_slices():
+    ds = small()
+    for chunk in partition_grid(ds.shape, (2, 2, 2)):
+        np.testing.assert_array_equal(
+            ds.chunk_field(chunk, 2, 1), ds.field(2, 1)[chunk.slices()]
+        )
+
+
+def test_isosurface_is_space_filling():
+    # Spectral fields produce wrinkled surfaces spread through the volume —
+    # unlike the plume generator's compact shells.  Check that active cubes
+    # appear in every octant.
+    ds = SpectralDataset((24, 24, 24), seed=7)
+    tris = extract_triangles(ds.field(0, 0), 0.0)
+    assert len(tris) > 1000
+    centroids = tris.mean(axis=1)
+    for axis in range(3):
+        lo = (centroids[:, axis] < 11.5).sum()
+        hi = (centroids[:, axis] > 11.5).sum()
+        assert lo > 0.2 * hi and hi > 0.2 * lo
+
+
+def test_smoothness_increases_with_slope():
+    # Steeper spectra damp high frequencies -> smaller gradient magnitude.
+    rough = SpectralDataset((24, 24, 24), slope=2.0, seed=3).field(0, 0)
+    smooth = SpectralDataset((24, 24, 24), slope=6.0, seed=3).field(0, 0)
+
+    def grad_power(f):
+        g = np.gradient(f.astype(np.float64))
+        return sum(float((gi**2).mean()) for gi in g)
+
+    assert grad_power(smooth) < grad_power(rough)
+
+
+def test_sizes():
+    ds = SpectralDataset((8, 8, 8))
+    assert ds.points_per_field == 512
+    assert ds.bytes_per_field == 2048
+
+
+def test_validation():
+    with pytest.raises(DataError):
+        SpectralDataset((2, 8, 8))
+    with pytest.raises(DataError):
+        SpectralDataset((8, 8, 8), timesteps=0)
+    with pytest.raises(DataError):
+        SpectralDataset((8, 8, 8), slope=0.0)
+    ds = small()
+    with pytest.raises(DataError):
+        ds.field(99, 0)
+    with pytest.raises(DataError):
+        ds.field(0, 99)
+
+
+def test_pipeline_renders_spectral_data():
+    """The whole application stack accepts the second dataset family."""
+    from repro.data import HostDisks, StorageMap
+    from repro.engines import ThreadedEngine
+    from repro.viz import IsosurfaceApp
+    from repro.viz.profile import DatasetProfile
+
+    ds = SpectralDataset((16, 16, 16), timesteps=1, seed=11)
+    profile = DatasetProfile.measured("spectral", ds, 8, 4, isovalue=0.4)
+    storage = StorageMap.balanced(profile.files, [HostDisks("h0")])
+    app = IsosurfaceApp(
+        profile, storage, width=48, height=48, algorithm="active",
+        dataset=ds, isovalue=0.4,
+    )
+    metrics = ThreadedEngine(
+        app.graph("RE-Ra-M"), app.placement("RE-Ra-M")
+    ).run()
+    assert metrics.result.active_pixels > 50

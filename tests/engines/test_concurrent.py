@@ -1,0 +1,109 @@
+"""Tests for concurrent unit-of-work execution on a shared cluster."""
+
+import pytest
+
+from repro.core import DataBuffer, FilterGraph, Placement, SimFilter, SimSource, SourceItem
+from repro.engines.simulated import SimulatedEngine, run_concurrent
+from repro.errors import EngineError
+from repro.sim import Environment, homogeneous_cluster
+
+
+class Burst(SimSource):
+    def __init__(self, count, cpu):
+        self.count = count
+        self.cpu = cpu
+
+    def items(self, ctx):
+        for i in range(self.count):
+            yield SourceItem(cpu=self.cpu, outputs=[DataBuffer(1000, tags={"i": i})])
+
+
+class Counter(SimFilter):
+    def __init__(self):
+        self.n = 0
+
+    def cost(self, buffer):
+        return 0.01
+
+    def react(self, buffer):
+        self.n += 1
+        return ()
+
+    def result(self):
+        return self.n
+
+
+def make_engine(cluster, count=20, cpu=0.05, src="node0", sink="node1"):
+    g = FilterGraph()
+    g.add_filter("src", sim_factory=lambda: Burst(count, cpu), is_source=True)
+    g.add_filter("sink", sim_factory=Counter)
+    g.connect("src", "sink")
+    p = Placement().place("src", [src]).place("sink", [sink])
+    return SimulatedEngine(cluster, g, p, policy="RR")
+
+
+def test_concurrent_queries_complete_and_contend():
+    # Solo baseline.
+    env = Environment()
+    cluster = homogeneous_cluster(env, nodes=2, cores=1)
+    solo = make_engine(cluster).run().makespan
+
+    # Two identical queries sharing the same nodes: both finish, both
+    # slower than solo (CPU contention), and neither takes 2x-solo alone
+    # longer than the serial total.
+    env = Environment()
+    cluster = homogeneous_cluster(env, nodes=2, cores=1)
+    engines = [make_engine(cluster), make_engine(cluster)]
+    results = run_concurrent(engines)
+    assert [m.result for m in results] == [20, 20]
+    for m in results:
+        assert m.makespan > solo * 1.2
+        assert m.makespan <= 2.2 * solo
+
+
+def test_concurrent_disjoint_nodes_no_interference():
+    env = Environment()
+    cluster = homogeneous_cluster(env, nodes=4, cores=1)
+    solo_env = Environment()
+    solo_cluster = homogeneous_cluster(solo_env, nodes=4, cores=1)
+    solo = make_engine(solo_cluster).run().makespan
+
+    engines = [
+        make_engine(cluster, src="node0", sink="node1"),
+        make_engine(cluster, src="node2", sink="node3"),
+    ]
+    results = run_concurrent(engines)
+    for m in results:
+        assert m.makespan == pytest.approx(solo, rel=1e-6)
+
+
+def test_run_concurrent_validation():
+    with pytest.raises(EngineError):
+        run_concurrent([])
+    env1 = Environment()
+    env2 = Environment()
+    c1 = homogeneous_cluster(env1, nodes=2)
+    c2 = homogeneous_cluster(env2, nodes=2)
+    with pytest.raises(EngineError, match="share one cluster"):
+        run_concurrent([make_engine(c1), make_engine(c2)])
+
+
+def test_finalize_before_completion_rejected():
+    env = Environment()
+    cluster = homogeneous_cluster(env, nodes=2)
+    pending = make_engine(cluster).launch()
+    with pytest.raises(EngineError, match="before the run completed"):
+        pending.finalize()
+    env.run(until=pending.done)
+    metrics = pending.finalize()
+    assert metrics.result == 20
+    # finalize is idempotent.
+    assert pending.finalize() is metrics
+
+
+def test_run_still_works_after_refactor():
+    env = Environment()
+    cluster = homogeneous_cluster(env, nodes=2)
+    metrics = make_engine(cluster).run()
+    assert metrics.result == 20
+    assert metrics.makespan > 0

@@ -1,0 +1,88 @@
+"""Cross-engine consistency: the simulated models track the real filters.
+
+The simulated engine never touches payloads, yet its buffer accounting must
+agree with the real pipeline wherever the quantities are exact: triangle
+bytes on the (R)E->Ra stream (the profile's triangle counts times the wire
+size per triangle) and the z-buffer merge volume (W*H*8).
+"""
+
+import pytest
+
+from repro.data import HostDisks, ParSSimDataset, StorageMap
+from repro.engines import SimulatedEngine, ThreadedEngine
+from repro.sim import Environment, homogeneous_cluster
+from repro.viz import IsosurfaceApp
+from repro.viz.filters import TRIANGLE_BYTES
+from repro.viz.profile import DatasetProfile
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    dataset = ParSSimDataset((17, 17, 17), timesteps=1, species=1, seed=11)
+    iso = 0.35
+    profile = DatasetProfile.measured(
+        "xeng", dataset, nchunks=8, nfiles=4, isovalue=iso
+    )
+    return dataset, profile, iso
+
+
+def run_threaded(scenario, algorithm):
+    dataset, profile, iso = scenario
+    storage = StorageMap.balanced(profile.files, [HostDisks("node0")])
+    app = IsosurfaceApp(
+        profile, storage, width=64, height=64, algorithm=algorithm,
+        dataset=dataset, isovalue=iso,
+    )
+    return ThreadedEngine(
+        app.graph("R-E-Ra-M"), app.placement("R-E-Ra-M")
+    ).run()
+
+
+def run_simulated(scenario, algorithm):
+    _dataset, profile, _iso = scenario
+    env = Environment()
+    cluster = homogeneous_cluster(env, nodes=1)
+    storage = StorageMap.balanced(profile.files, [HostDisks("node0", 2)])
+    app = IsosurfaceApp(
+        profile, storage, width=64, height=64, algorithm=algorithm
+    )
+    return SimulatedEngine(
+        cluster, app.graph("R-E-Ra-M"), app.placement("R-E-Ra-M"), policy="RR"
+    ).run()
+
+
+def test_triangle_bytes_agree(scenario):
+    _dataset, profile, _iso = scenario
+    expected = profile.total_triangles(0) * TRIANGLE_BYTES
+    for runner in (run_threaded, run_simulated):
+        metrics = runner(scenario, "active")
+        _, nbytes = metrics.stream_totals("E->Ra")
+        assert nbytes == expected, runner.__name__
+
+
+def test_zbuffer_merge_volume_agrees(scenario):
+    expected = 64 * 64 * 8
+    for runner in (run_threaded, run_simulated):
+        metrics = runner(scenario, "zbuffer")
+        _, nbytes = metrics.stream_totals("Ra->M")
+        assert nbytes == expected, runner.__name__
+
+
+def test_voxel_bytes_agree(scenario):
+    _dataset, profile, _iso = scenario
+    expected = sum(c.nbytes for c in profile.chunks)
+    for runner in (run_threaded, run_simulated):
+        metrics = runner(scenario, "active")
+        _, nbytes = metrics.stream_totals("R->E")
+        assert nbytes == expected, runner.__name__
+
+
+def test_active_pixel_volume_is_model_estimate(scenario):
+    # The AP merge volume is exact in the real pipeline and *estimated* in
+    # the simulation (fragments-per-triangle model); they must agree on
+    # order of magnitude but are not expected to be equal.
+    real_bytes = run_threaded(scenario, "active").stream_totals("Ra->M")[1]
+    sim_bytes = run_simulated(scenario, "active").stream_totals("Ra->M")[1]
+    assert real_bytes > 0 and sim_bytes > 0
+    ratio = sim_bytes / real_bytes
+    assert 0.02 < ratio < 50.0

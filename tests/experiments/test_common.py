@@ -1,0 +1,70 @@
+"""Unit tests for the experiment machinery (ResultTable, helpers)."""
+
+import pytest
+
+from repro.experiments.common import ResultTable, mean
+
+
+def sample():
+    table = ResultTable("T", ["a", "b", "value"])
+    table.add(a=1, b="x", value=10.0)
+    table.add(a=1, b="y", value=20.0)
+    table.add(a=2, b="x", value=30.0)
+    return table
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_add_rejects_unknown_columns():
+    table = ResultTable("T", ["a"])
+    with pytest.raises(KeyError):
+        table.add(a=1, bogus=2)
+
+
+def test_column_and_select():
+    table = sample()
+    assert table.column("value") == [10.0, 20.0, 30.0]
+    assert table.select(a=1) == [
+        {"a": 1, "b": "x", "value": 10.0},
+        {"a": 1, "b": "y", "value": 20.0},
+    ]
+    assert table.select(a=1, b="y") == [{"a": 1, "b": "y", "value": 20.0}]
+    assert table.select(a=99) == []
+
+
+def test_value_unique_match():
+    table = sample()
+    assert table.value("value", a=2, b="x") == 30.0
+    with pytest.raises(KeyError):
+        table.value("value", a=1)  # two matches
+    with pytest.raises(KeyError):
+        table.value("value", a=99)  # no match
+
+
+def test_format_aligns_and_includes_notes():
+    table = sample()
+    table.notes.append("hello")
+    text = table.format()
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[2] and "value" in lines[2]
+    assert any("10.000" in line for line in lines)
+    assert text.endswith("note: hello")
+
+
+def test_format_empty_table():
+    table = ResultTable("Empty", ["x"])
+    text = table.format()
+    assert "Empty" in text
+    assert "x" in text
+
+
+def test_missing_cells_render_blank():
+    table = ResultTable("T", ["a", "b"])
+    table.add(a=1)
+    assert table.column("b") == [None]
+    assert "1" in table.format()

@@ -1,0 +1,86 @@
+"""Tests for background-load helpers and schedules."""
+
+import pytest
+
+from repro.sim.background import (
+    LoadPhase,
+    apply_background_load,
+    scheduled_background_load,
+)
+from repro.sim.cluster import homogeneous_cluster
+from repro.sim.kernel import Environment
+
+
+def test_load_phase_validation():
+    with pytest.raises(ValueError):
+        LoadPhase(-1.0, 0)
+    with pytest.raises(ValueError):
+        LoadPhase(1.0, -2)
+    LoadPhase(0.0, 0)  # zero-duration phases are allowed
+
+
+def test_apply_background_load():
+    env = Environment()
+    cluster = homogeneous_cluster(env, nodes=3)
+    apply_background_load(cluster, 5, ["node0", "node2"])
+    assert cluster.host("node0").cpu.background_jobs == 5
+    assert cluster.host("node1").cpu.background_jobs == 0
+    assert cluster.host("node2").cpu.background_jobs == 5
+
+
+def test_scheduled_load_runs_phases_in_order():
+    env = Environment()
+    cluster = homogeneous_cluster(env, nodes=1)
+    host = cluster.host("node0")
+    phases = [LoadPhase(2.0, 4), LoadPhase(3.0, 1)]
+    scheduled_background_load(env, cluster, ["node0"], phases)
+    env.run(until=1.0)
+    assert host.cpu.background_jobs == 4
+    env.run(until=3.0)
+    assert host.cpu.background_jobs == 1
+    env.run()  # schedule ends, load reset to zero
+    assert host.cpu.background_jobs == 0
+    assert env.now == 5.0
+
+
+def test_scheduled_load_repeats():
+    env = Environment()
+    cluster = homogeneous_cluster(env, nodes=1)
+    host = cluster.host("node0")
+    phases = [LoadPhase(1.0, 2), LoadPhase(1.0, 0)]
+    scheduled_background_load(env, cluster, ["node0"], phases, repeat=True)
+    env.run(until=0.5)
+    assert host.cpu.background_jobs == 2
+    env.run(until=1.5)
+    assert host.cpu.background_jobs == 0
+    env.run(until=2.5)
+    assert host.cpu.background_jobs == 2  # cycled back
+
+
+def test_repeating_schedule_needs_positive_duration():
+    env = Environment()
+    cluster = homogeneous_cluster(env, nodes=1)
+    with pytest.raises(ValueError):
+        scheduled_background_load(
+            env, cluster, ["node0"], [LoadPhase(0.0, 1)], repeat=True
+        )
+
+
+def test_schedule_slows_concurrent_work():
+    env = Environment()
+    cluster = homogeneous_cluster(env, nodes=1)
+    host = cluster.host("node0")
+    # 1s of load-free time, then 4 jobs forever.
+    scheduled_background_load(
+        env, cluster, ["node0"], [LoadPhase(1.0, 0), LoadPhase(100.0, 4)]
+    )
+    done = []
+
+    def work(env):
+        yield host.compute(2.0)
+        done.append(env.now)
+
+    env.process(work(env))
+    env.run(until=60.0)
+    # 1 unit done in the quiet second; remaining 1 unit at rate 1/5 -> t=6.
+    assert done == [pytest.approx(6.0)]

@@ -1,0 +1,157 @@
+"""Unit tests for the processor-sharing CPU model."""
+
+import pytest
+
+from repro.sim.cpu import ProcessorSharingCPU
+from repro.sim.kernel import Environment
+
+
+def run_tasks(cores, speed, tasks, background=0):
+    """Run (start_time, work) tasks; return dict task_index -> finish time."""
+    env = Environment()
+    cpu = ProcessorSharingCPU(env, cores=cores, speed=speed)
+    if background:
+        cpu.set_background_load(background)
+    finish = {}
+
+    def submit(env, idx, start, work):
+        if start:
+            yield env.timeout(start)
+        yield cpu.execute(work)
+        finish[idx] = env.now
+
+    for i, (start, work) in enumerate(tasks):
+        env.process(submit(env, i, start, work))
+    env.run()
+    return finish
+
+
+def test_single_task_runs_at_full_speed():
+    finish = run_tasks(cores=1, speed=1.0, tasks=[(0.0, 4.0)])
+    assert finish[0] == pytest.approx(4.0)
+
+
+def test_speed_scales_execution():
+    finish = run_tasks(cores=1, speed=2.0, tasks=[(0.0, 4.0)])
+    assert finish[0] == pytest.approx(2.0)
+
+
+def test_two_tasks_share_one_core():
+    # Two equal tasks on 1 core: each runs at 1/2 rate -> both finish at 8.
+    finish = run_tasks(cores=1, speed=1.0, tasks=[(0.0, 4.0), (0.0, 4.0)])
+    assert finish[0] == pytest.approx(8.0)
+    assert finish[1] == pytest.approx(8.0)
+
+
+def test_two_tasks_two_cores_full_rate():
+    finish = run_tasks(cores=2, speed=1.0, tasks=[(0.0, 4.0), (0.0, 4.0)])
+    assert finish[0] == pytest.approx(4.0)
+    assert finish[1] == pytest.approx(4.0)
+
+
+def test_unequal_tasks_processor_sharing():
+    # Tasks of work 1 and 3 on one core: share until the short one finishes
+    # at t=2 (each got 1 unit), then the long one runs alone, finishing at 4.
+    finish = run_tasks(cores=1, speed=1.0, tasks=[(0.0, 1.0), (0.0, 3.0)])
+    assert finish[0] == pytest.approx(2.0)
+    assert finish[1] == pytest.approx(4.0)
+
+
+def test_late_arrival_slows_running_task():
+    # Task A (work 4) alone until t=2 (2 done), then shares with B (work 1):
+    # B finishes at t=4 (1 unit at rate 1/2); A has 1 left, finishes at t=5.
+    finish = run_tasks(cores=1, speed=1.0, tasks=[(0.0, 4.0), (2.0, 1.0)])
+    assert finish[1] == pytest.approx(4.0)
+    assert finish[0] == pytest.approx(5.0)
+
+
+def test_background_job_halves_throughput():
+    finish = run_tasks(cores=1, speed=1.0, tasks=[(0.0, 4.0)], background=1)
+    assert finish[0] == pytest.approx(8.0)
+
+
+def test_background_jobs_scale_slowdown():
+    # 1 task + 3 background on 1 core: task rate 1/4 -> work 2 takes 8.
+    finish = run_tasks(cores=1, speed=1.0, tasks=[(0.0, 2.0)], background=3)
+    assert finish[0] == pytest.approx(8.0)
+
+
+def test_multicore_absorbs_background():
+    # 1 task + 1 bg on 2 cores: both get a full core -> no slowdown.
+    finish = run_tasks(cores=2, speed=1.0, tasks=[(0.0, 4.0)], background=1)
+    assert finish[0] == pytest.approx(4.0)
+
+
+def test_background_change_mid_task():
+    env = Environment()
+    cpu = ProcessorSharingCPU(env, cores=1)
+    finish = []
+
+    def task(env):
+        yield cpu.execute(4.0)
+        finish.append(env.now)
+
+    def loader(env):
+        yield env.timeout(2.0)
+        cpu.set_background_load(1)  # halve the task's rate from t=2
+
+    env.process(task(env))
+    env.process(loader(env))
+    env.run()
+    # 2 units done by t=2; remaining 2 at rate 1/2 -> +4 -> t=6.
+    assert finish == [pytest.approx(6.0)]
+
+
+def test_zero_work_completes_immediately():
+    env = Environment()
+    cpu = ProcessorSharingCPU(env, cores=1)
+    done = []
+
+    def task(env):
+        yield cpu.execute(0.0)
+        done.append(env.now)
+
+    env.process(task(env))
+    env.run()
+    assert done == [0.0]
+
+
+def test_many_tasks_conservation():
+    # Total work conservation: with 1 core at speed 1 and all tasks present
+    # from t=0, makespan equals total work regardless of sharing.
+    works = [0.5, 1.5, 2.0, 3.0, 0.25]
+    finish = run_tasks(cores=1, speed=1.0, tasks=[(0.0, w) for w in works])
+    assert max(finish.values()) == pytest.approx(sum(works))
+
+
+def test_statistics():
+    env = Environment()
+    cpu = ProcessorSharingCPU(env, cores=1)
+
+    def task(env):
+        yield cpu.execute(3.0)
+
+    env.process(task(env))
+    env.run()
+    assert cpu.tasks_completed == 1
+    assert cpu.work_completed == pytest.approx(3.0)
+    assert cpu.busy_integral == pytest.approx(3.0)
+
+
+def test_invalid_arguments():
+    env = Environment()
+    with pytest.raises(ValueError):
+        ProcessorSharingCPU(env, cores=0)
+    with pytest.raises(ValueError):
+        ProcessorSharingCPU(env, cores=1, speed=0.0)
+    cpu = ProcessorSharingCPU(env, cores=1)
+    with pytest.raises(ValueError):
+        cpu.set_background_load(-1)
+
+
+def test_current_task_rate_reflects_sharing():
+    env = Environment()
+    cpu = ProcessorSharingCPU(env, cores=2, speed=1.0)
+    assert cpu.current_task_rate() == 0.0
+    cpu.set_background_load(4)
+    assert cpu.current_task_rate() == pytest.approx(0.5)

@@ -1,0 +1,98 @@
+"""Unit tests for the FIFO disk model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.disk import Disk
+from repro.sim.kernel import Environment
+
+
+def test_single_read_time():
+    env = Environment()
+    disk = Disk(env, bandwidth=100.0, seek_time=1.0)
+    done = []
+
+    def reader(env):
+        yield disk.read(200)
+        done.append(env.now)
+
+    env.process(reader(env))
+    env.run()
+    assert done == [pytest.approx(3.0)]  # 1s seek + 200/100
+
+
+def test_fifo_serialization():
+    env = Environment()
+    disk = Disk(env, bandwidth=100.0, seek_time=0.5)
+    done = {}
+
+    def reader(env, tag):
+        yield disk.read(100)
+        done[tag] = env.now
+
+    env.process(reader(env, "a"))
+    env.process(reader(env, "b"))
+    env.run()
+    assert done["a"] == pytest.approx(1.5)
+    assert done["b"] == pytest.approx(3.0)
+
+
+def test_idle_gap_not_charged():
+    env = Environment()
+    disk = Disk(env, bandwidth=100.0, seek_time=0.0)
+    done = []
+
+    def reader(env):
+        yield disk.read(100)
+        yield env.timeout(10.0)  # disk idle
+        yield disk.read(100)
+        done.append(env.now)
+
+    env.process(reader(env))
+    env.run()
+    assert done == [pytest.approx(12.0)]
+
+
+def test_zero_byte_read_costs_seek_only():
+    env = Environment()
+    disk = Disk(env, bandwidth=1e6, seek_time=0.25)
+    done = []
+
+    def reader(env):
+        yield disk.read(0)
+        done.append(env.now)
+
+    env.process(reader(env))
+    env.run()
+    assert done == [pytest.approx(0.25)]
+
+
+def test_negative_read_rejected():
+    env = Environment()
+    disk = Disk(env, bandwidth=1e6)
+    with pytest.raises(SimulationError):
+        disk.read(-1)
+
+
+def test_constructor_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Disk(env, bandwidth=0)
+    with pytest.raises(ValueError):
+        Disk(env, bandwidth=10, seek_time=-1)
+
+
+def test_statistics_and_utilization():
+    env = Environment()
+    disk = Disk(env, bandwidth=100.0, seek_time=0.0)
+
+    def reader(env):
+        yield disk.read(100)
+        yield env.timeout(1.0)
+
+    env.process(reader(env))
+    env.run()
+    assert disk.bytes_read == 100
+    assert disk.requests == 1
+    assert disk.busy_time == pytest.approx(1.0)
+    assert disk.utilization() == pytest.approx(0.5)

@@ -1,0 +1,64 @@
+"""Property tests for the max-min fair bandwidth allocator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+
+
+@st.composite
+def topology_and_flows(draw):
+    nlinks = draw(st.integers(min_value=1, max_value=4))
+    capacities = [
+        draw(st.floats(min_value=10.0, max_value=1000.0)) for _ in range(nlinks)
+    ]
+    nflows = draw(st.integers(min_value=1, max_value=6))
+    flows = []
+    for _ in range(nflows):
+        path = sorted(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=nlinks - 1),
+                    min_size=1,
+                    max_size=nlinks,
+                )
+            )
+        )
+        size = draw(st.integers(min_value=1000, max_value=100_000))
+        flows.append((path, size))
+    return capacities, flows
+
+
+@given(topology_and_flows())
+@settings(max_examples=80, deadline=None)
+def test_maxmin_feasible_and_saturating(setup):
+    capacities, flows = setup
+    env = Environment()
+    net = Network(env)
+    links = [net.add_link(f"l{i}", c) for i, c in enumerate(capacities)]
+    for i, (path, size) in enumerate(flows):
+        net.set_route(f"S{i}", f"D{i}", [links[j] for j in path], latency=0.0)
+        net.transfer(f"S{i}", f"D{i}", size)
+
+    rates = net.current_rates()
+    assert len(rates) == len(flows)
+    # Feasibility: no link carries more than its capacity.
+    usage = {f"l{i}": 0.0 for i in range(len(capacities))}
+    for names, rate in rates:
+        assert rate > 0
+        for name in names:
+            usage[name] += rate
+    for i, cap in enumerate(capacities):
+        assert usage[f"l{i}"] <= cap * (1 + 1e-9)
+    # Max-min: every flow crosses at least one saturated link (otherwise its
+    # rate could be raised without hurting anyone).
+    for names, _rate in rates:
+        assert any(
+            usage[name] >= capacities[int(name[1:])] * (1 - 1e-6)
+            for name in names
+        )
+    # Liveness: the simulation drains all flows.
+    env.run()
+    assert net.active_flows == 0
+    assert net.transfers_completed == len(flows)

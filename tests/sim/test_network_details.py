@@ -1,0 +1,128 @@
+"""Additional network model tests: overheads, routes, multi-hop latency."""
+
+import pytest
+
+from repro.sim.cluster import (
+    FAST_ETHERNET,
+    FAST_ETHERNET_LATENCY,
+    FAST_ETHERNET_MSG_OVERHEAD,
+    GIGABIT_LATENCY,
+    GIGABIT_MSG_OVERHEAD,
+    Cluster,
+    LinkSpec,
+    umd_testbed,
+)
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+
+
+def send(env, net_or_cluster, src, dst, nbytes):
+    done = []
+
+    def proc(env):
+        yield net_or_cluster.transfer(src, dst, nbytes)
+        done.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    return done[0]
+
+
+def test_per_message_overhead_charged_once_per_transfer():
+    env = Environment()
+    net = Network(env)
+    link = net.add_link("l", 1000.0)
+    net.set_route("A", "B", [link], latency=0.1, message_overhead=0.05)
+    t = send(env, net, "A", "B", 1000)
+    assert t == pytest.approx(1.0 + 0.1 + 0.05)
+
+
+def test_multi_hop_latency_accumulates():
+    env = Environment()
+    c = Cluster(env)
+    c.add_switch("a")
+    c.add_switch("b")
+    c.add_switch("core")
+    spec = LinkSpec(1e6, latency=0.01, message_overhead=0.0)
+    c.connect_switches("a", "core", spec)
+    c.connect_switches("core", "b", spec)
+    nic = LinkSpec(1e6, latency=0.001, message_overhead=0.0)
+    c.add_host("h0", "a", cores=1, nic=nic)
+    c.add_host("h1", "b", cores=1, nic=nic)
+    c.finalize()
+    t = send(env, c, "h0", "h1", 0)
+    # 2 NIC latencies + 2 trunk latencies.
+    assert t == pytest.approx(0.001 * 2 + 0.01 * 2)
+
+
+def test_umd_rogue_to_rogue_over_fast_ethernet():
+    env = Environment()
+    cluster = umd_testbed(env, red_nodes=0, blue_nodes=0, rogue_nodes=2,
+                          deathstar=False)
+    t = send(env, cluster, "rogue0", "rogue1", int(FAST_ETHERNET))
+    # ~1 s of bandwidth plus small fixed costs.
+    fixed = 2 * (FAST_ETHERNET_LATENCY + FAST_ETHERNET_MSG_OVERHEAD)
+    assert t == pytest.approx(1.0 + fixed, rel=1e-6)
+
+
+def test_umd_blue_to_blue_faster_than_rogue_to_rogue():
+    nbytes = 10_000_000
+    env1 = Environment()
+    c1 = umd_testbed(env1, red_nodes=0, blue_nodes=2, rogue_nodes=0,
+                     deathstar=False)
+    blue = send(env1, c1, "blue0", "blue1", nbytes)
+    env2 = Environment()
+    c2 = umd_testbed(env2, red_nodes=0, blue_nodes=0, rogue_nodes=2,
+                     deathstar=False)
+    rogue = send(env2, c2, "rogue0", "rogue1", nbytes)
+    assert blue < rogue / 5  # Gigabit vs Fast Ethernet
+
+
+def test_gigabit_fixed_costs_cheaper_than_fast_ethernet():
+    assert GIGABIT_LATENCY < FAST_ETHERNET_LATENCY
+    assert GIGABIT_MSG_OVERHEAD < FAST_ETHERNET_MSG_OVERHEAD
+
+
+def test_bidirectional_transfers_do_not_contend():
+    # Full duplex: A->B and B->A at the same time each get full bandwidth.
+    env = Environment()
+    c = Cluster(env)
+    c.add_switch("sw")
+    nic = LinkSpec(1000.0, 0.0)
+    c.add_host("h0", "sw", cores=1, nic=nic)
+    c.add_host("h1", "sw", cores=1, nic=nic)
+    c.finalize()
+    done = {}
+
+    def proc(env, src, dst, tag):
+        yield c.transfer(src, dst, 1000)
+        done[tag] = env.now
+
+    env.process(proc(env, "h0", "h1", "fwd"))
+    env.process(proc(env, "h1", "h0", "rev"))
+    env.run()
+    assert done["fwd"] == pytest.approx(1.0)
+    assert done["rev"] == pytest.approx(1.0)
+
+
+def test_same_direction_transfers_share_tx_link():
+    env = Environment()
+    c = Cluster(env)
+    c.add_switch("sw")
+    nic = LinkSpec(1000.0, 0.0)
+    c.add_host("h0", "sw", cores=1, nic=nic)
+    c.add_host("h1", "sw", cores=1, nic=nic)
+    c.add_host("h2", "sw", cores=1, nic=nic)
+    c.finalize()
+    done = {}
+
+    def proc(env, dst, tag):
+        yield c.transfer("h0", dst, 1000)
+        done[tag] = env.now
+
+    env.process(proc(env, "h1", "a"))
+    env.process(proc(env, "h2", "b"))
+    env.run()
+    # Both leave through h0.tx at 500 B/s each.
+    assert done["a"] == pytest.approx(2.0)
+    assert done["b"] == pytest.approx(2.0)

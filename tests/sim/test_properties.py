@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the simulation substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cpu import ProcessorSharingCPU
+from repro.sim.disk import Disk
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+from repro.sim.store import Store
+
+
+@given(
+    works=st.lists(
+        st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+        min_size=1,
+        max_size=10,
+    ),
+    cores=st.integers(min_value=1, max_value=4),
+    speed=st.floats(min_value=0.25, max_value=4.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_cpu_work_conservation(works, cores, speed):
+    """With all tasks present from t=0, makespan is bounded by theory.
+
+    Lower bound: total_work / (cores * speed) and max_work / speed.
+    Upper bound: total work serialised on one core.  All completions in
+    non-... every task completes; accounted work equals submitted work.
+    """
+    env = Environment()
+    cpu = ProcessorSharingCPU(env, cores=cores, speed=speed)
+    done = []
+
+    def submit(env, work):
+        yield cpu.execute(work)
+        done.append(env.now)
+
+    for work in works:
+        env.process(submit(env, work))
+    env.run()
+    assert len(done) == len(works)
+    makespan = max(done)
+    total = sum(works)
+    lower = max(total / (cores * speed), max(works) / speed)
+    assert makespan >= lower - 1e-6
+    assert makespan <= total / speed + 1e-6
+    assert cpu.work_completed == pytest.approx(total, rel=1e-9)
+    assert cpu.active_tasks == 0
+
+
+@given(
+    works=st.lists(
+        st.floats(min_value=0.01, max_value=10.0), min_size=2, max_size=8
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_cpu_single_core_equal_tasks_finish_together(works):
+    """On one core, identical tasks submitted together finish together."""
+    env = Environment()
+    cpu = ProcessorSharingCPU(env, cores=1)
+    done = []
+    work = works[0]
+
+    def submit(env):
+        yield cpu.execute(work)
+        done.append(env.now)
+
+    for _ in range(len(works)):
+        env.process(submit(env))
+    env.run()
+    assert all(t == pytest.approx(done[0]) for t in done)
+    assert done[0] == pytest.approx(work * len(works))
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=10_000), min_size=1, max_size=12
+    ),
+    bandwidth=st.floats(min_value=10.0, max_value=1e6),
+    seek=st.floats(min_value=0.0, max_value=0.1),
+)
+@settings(max_examples=60, deadline=None)
+def test_disk_fifo_total_time(sizes, bandwidth, seek):
+    """Back-to-back reads take exactly the sum of their service times."""
+    env = Environment()
+    disk = Disk(env, bandwidth=bandwidth, seek_time=seek)
+    finished = []
+
+    def reader(env):
+        for size in sizes:
+            yield disk.read(size)
+        finished.append(env.now)
+
+    env.process(reader(env))
+    env.run()
+    expected = sum(seek + s / bandwidth for s in sizes)
+    assert finished[0] == pytest.approx(expected, rel=1e-9)
+    assert disk.bytes_read == sum(sizes)
+
+
+@given(
+    nbytes=st.lists(
+        st.integers(min_value=1, max_value=100_000), min_size=1, max_size=8
+    ),
+    capacity=st.floats(min_value=100.0, max_value=1e6),
+)
+@settings(max_examples=60, deadline=None)
+def test_network_single_link_conservation(nbytes, capacity):
+    """Concurrent flows through one link finish exactly when the link has
+    carried all bytes: makespan == total_bytes / capacity (max-min keeps the
+    link saturated while any flow is active)."""
+    env = Environment()
+    net = Network(env)
+    link = net.add_link("l", capacity)
+    net.set_route("A", "B", [link], latency=0.0)
+    done = []
+
+    def sender(env, size):
+        yield net.transfer("A", "B", size)
+        done.append(env.now)
+
+    for size in nbytes:
+        env.process(sender(env, size))
+    env.run()
+    assert max(done) == pytest.approx(sum(nbytes) / capacity, rel=1e-6)
+    assert net.transfers_completed == len(nbytes)
+
+
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=30),
+    capacity=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_store_preserves_order_and_content(items, capacity):
+    """Whatever the capacity, a store delivers all items in FIFO order."""
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    received = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+        store.close()
+
+    def consumer(env):
+        while True:
+            try:
+                received.append((yield store.get()))
+            except Exception:
+                return
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == items
+    assert store.peak_occupancy <= capacity

@@ -1,0 +1,112 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_experiments_single(capsys):
+    assert main(["experiments", "table1", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Ra->M" in out
+
+
+def test_experiments_unknown_name(capsys):
+    assert main(["experiments", "bogus"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_render_writes_ppm(tmp_path, capsys):
+    out = tmp_path / "img.ppm"
+    code = main(
+        [
+            "render",
+            "--grid", "17",
+            "--image", "48",
+            "--chunks", "8",
+            "--files", "4",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    data = out.read_bytes()
+    assert data.startswith(b"P6 48 48 255\n")
+    assert len(data) == len(b"P6 48 48 255\n") + 48 * 48 * 3
+    assert "active pixels" in capsys.readouterr().out
+
+
+def test_render_zbuffer_rera(tmp_path):
+    out = tmp_path / "img.ppm"
+    code = main(
+        [
+            "render",
+            "--grid", "13",
+            "--image", "32",
+            "--chunks", "8",
+            "--files", "4",
+            "--config", "RERa-M",
+            "--algorithm", "zbuffer",
+            "--copies", "1",
+            "--out", str(out),
+        ]
+    )
+    assert code == 0
+    assert out.exists()
+
+
+def test_simulate_prints_makespan(capsys):
+    code = main(
+        [
+            "simulate",
+            "--scale", "0.01",
+            "--rogue", "2",
+            "--blue", "2",
+            "--bg-jobs", "4",
+            "--policy", "DD",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "makespan" in out
+    assert "acks" in out  # DD generates acknowledgment traffic
+
+
+def test_simulate_policy_variants(capsys):
+    for policy in ("RR", "WRR", "RATE"):
+        assert main(
+            ["simulate", "--scale", "0.01", "--rogue", "1", "--blue", "1",
+             "--policy", policy, "--image", "512"]
+        ) == 0
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_bad_choice():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["simulate", "--policy", "MAGIC"])
+
+
+def test_simulate_auto_place(capsys):
+    code = main(
+        ["simulate", "--scale", "0.01", "--rogue", "2", "--blue", "2",
+         "--auto-place", "--image", "512"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "auto-place: bottleneck" in out
+    assert "makespan" in out
+
+
+def test_simulate_trace_timeline(capsys):
+    code = main(
+        ["simulate", "--scale", "0.01", "--rogue", "1", "--blue", "1",
+         "--trace", "--image", "512"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace" in out
+    assert "|" in out  # the timeline strips

@@ -1,0 +1,149 @@
+"""Tests for the image-partitioned (merge-free) extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.placement import Placement
+from repro.data import HostDisks, ParSSimDataset, StorageMap
+from repro.engines import SimulatedEngine, ThreadedEngine
+from repro.errors import ConfigurationError
+from repro.sim import Environment, homogeneous_cluster
+from repro.viz.app import IsosurfaceApp
+from repro.viz.camera import Camera
+from repro.viz.partitioned import (
+    PartitionedReadExtractFilter,
+    StripRasterFilter,
+    assemble_strips,
+    build_partitioned_graph,
+    region_stream,
+    x_strips,
+)
+from repro.viz.profile import DatasetProfile
+
+
+def test_x_strips_cover_width_exactly():
+    strips = x_strips(100, 3)
+    assert strips[0][0] == 0
+    assert strips[-1][1] == 100
+    assert all(a[1] == b[0] for a, b in zip(strips, strips[1:]))
+
+
+def test_x_strips_validation():
+    with pytest.raises(ConfigurationError):
+        x_strips(100, 0)
+    with pytest.raises(ConfigurationError):
+        x_strips(2, 3)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    dataset = ParSSimDataset((13, 13, 13), timesteps=1, species=1, seed=9)
+    iso = 0.35
+    profile = DatasetProfile.measured("p", dataset, nchunks=8, nfiles=4, isovalue=iso)
+    storage = StorageMap.balanced(profile.files, [HostDisks("h0")])
+    return dataset, profile, storage, iso
+
+
+def test_partitioned_matches_merge_based_image(scenario):
+    dataset, profile, storage, iso = scenario
+    width = height = 40
+    camera = Camera.fit_grid(profile.grid_shape, width=width, height=height)
+
+    # Reference: the standard merge-based pipeline.
+    app = IsosurfaceApp(
+        profile, storage, width=width, height=height, algorithm="zbuffer",
+        dataset=dataset, isovalue=iso,
+    )
+    ref = (
+        ThreadedEngine(app.graph("RE-Ra-M"), app.placement("RE-Ra-M"))
+        .run()
+        .result.image
+    )
+
+    # Partitioned: 3 strip owners, no merge filter.
+    from repro.core.graph import FilterGraph
+
+    strips = x_strips(width, 3)
+    graph = FilterGraph()
+    graph.add_filter(
+        "RE",
+        factory=lambda: PartitionedReadExtractFilter(
+            dataset, storage, 0, iso, camera, strips
+        ),
+        is_source=True,
+    )
+    placement = Placement().place("RE", ["h0"])
+    for region, strip in enumerate(strips):
+        name = f"Ra{region}"
+        graph.add_filter(
+            name, factory=lambda s=strip: StripRasterFilter(camera, s)
+        )
+        graph.connect("RE", name, name=region_stream(region))
+        placement.place(name, ["h0"])
+    metrics = ThreadedEngine(graph, placement).run()
+    image = assemble_strips(metrics.result, width, height)
+    np.testing.assert_array_equal(image, ref)
+
+
+def test_assemble_strips_requires_full_cover():
+    with pytest.raises(ConfigurationError):
+        assemble_strips([((0, 5), np.zeros((4, 5, 3), dtype=np.uint8))], 10, 4)
+
+
+def sim_partitioned(regions, weights=None, nodes=4, tris=40_000):
+    profile = DatasetProfile.synthetic(
+        "p", (33, 33, 33), nchunks=64, nfiles=16, timesteps=1,
+        total_triangles=tris, seed=4,
+    )
+    env = Environment()
+    cluster = homogeneous_cluster(env, nodes=nodes)
+    names = [f"node{i}" for i in range(nodes)]
+    storage = StorageMap.balanced(profile.files, [HostDisks(names[0], 2)])
+    graph = build_partitioned_graph(
+        profile, storage, timestep=0, width=512, height=512,
+        regions=regions, region_weights=weights,
+    )
+    placement = Placement().place("RE", [names[0]])
+    for region in range(regions):
+        placement.place(f"Ra{region}", [names[(region + 1) % nodes]])
+    return SimulatedEngine(cluster, graph, placement, policy="RR").run()
+
+
+def test_sim_partitioned_distributes_triangles():
+    metrics = sim_partitioned(regions=3)
+    results = metrics.result
+    assert len(results) == 3
+    total = sum(r["triangles"] for r in results)
+    # Even split within rounding (one round() per chunk per region).
+    shares = sorted(r["triangles"] for r in results)
+    assert shares[-1] - shares[0] < 0.1 * total
+
+
+def test_sim_partitioned_skewed_weights_create_imbalance():
+    metrics = sim_partitioned(regions=2, weights=[3.0, 1.0])
+    results = sorted(r["triangles"] for r in metrics.result)
+    assert results[1] > 2.0 * results[0]
+
+
+def test_sim_partitioned_imbalance_slows_run():
+    balanced = sim_partitioned(regions=2, weights=[1.0, 1.0]).makespan
+    skewed = sim_partitioned(regions=2, weights=[5.0, 1.0]).makespan
+    assert skewed > balanced
+
+
+def test_build_partitioned_graph_validation():
+    profile = DatasetProfile.synthetic(
+        "p", (17, 17, 17), nchunks=8, nfiles=4, timesteps=1,
+        total_triangles=100, seed=0,
+    )
+    storage = StorageMap.balanced(profile.files, [HostDisks("h")])
+    with pytest.raises(ConfigurationError):
+        build_partitioned_graph(
+            profile, storage, 0, 64, 64, regions=2, region_weights=[1.0]
+        )
+    with pytest.raises(ConfigurationError):
+        build_partitioned_graph(
+            profile, storage, 0, 64, 64, regions=2, region_weights=[0.0, 0.0]
+        )
+    with pytest.raises(ConfigurationError):
+        build_partitioned_graph(profile, storage, 0, 64, 64, regions=0)
