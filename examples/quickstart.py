@@ -13,6 +13,7 @@ Run:  python examples/quickstart.py
 import tempfile
 from pathlib import Path
 
+from repro.core.tracing import Tracer
 from repro.data import DeclusteredStore, HostDisks, ParSSimDataset, StorageMap
 from repro.engines import ThreadedEngine
 from repro.viz import IsosurfaceApp
@@ -64,14 +65,22 @@ def main() -> None:
     placement = app.placement(
         "RE-Ra-M", compute_hosts=["host0"], copies_per_host=2
     )
-    metrics = ThreadedEngine(graph, placement, policy="DD").run()
+    tracer = Tracer()
+    metrics = ThreadedEngine(graph, placement, policy="DD", tracer=tracer).run()
+    metrics.validate(graph)  # counter conservation: books must balance
 
-    # 4. Inspect the run.
+    # 4. Inspect the run: stream totals, DD overhead, per-copy timeline.
     result = metrics.result
     print(f"rendered {result.active_pixels} active pixels")
     for stream in ("RE->Ra", "Ra->M"):
         buffers, nbytes = metrics.stream_totals(stream)
         print(f"stream {stream}: {buffers} buffers, {nbytes / 1e3:.1f} kB")
+    print(
+        f"DD overhead: {metrics.ack_messages} acks, "
+        f"{metrics.ack_bytes / 1e3:.1f} kB on the wire"
+    )
+    print()
+    print(tracer.timeline(width=48))
     out = Path(__file__).resolve().parent / "quickstart.ppm"
     write_ppm(out, result.image)
     print(f"image written to {out}")

@@ -47,7 +47,9 @@ def main() -> None:
         placement = app.placement(
             "RE-Ra-M", compute_hosts=NODES[:hosts], merge_host=NODES[-1]
         )
-        metrics = SimulatedEngine(cluster, graph, placement, policy="DD").run()
+        metrics = SimulatedEngine(
+            cluster, graph, placement, policy="DD"
+        ).run().validate(graph)
         merge_busy = metrics.filter_busy_time("M")
         print(f"{hosts:>10} {metrics.makespan:>9.2f} {merge_busy:>13.2f}")
 
@@ -59,7 +61,9 @@ def main() -> None:
     placement = Placement().spread("RE", NODES[:4])
     for region in range(8):
         placement.place(f"Ra{region}", [NODES[region]])
-    metrics = SimulatedEngine(cluster, graph, placement, policy="RR").run()
+    metrics = SimulatedEngine(
+        cluster, graph, placement, policy="RR"
+    ).run().validate(graph)
     print(f"partitioned over 8 strip owners: {metrics.makespan:.2f} s")
     print(
         "\nWith few copies the single Merge is harmless; as copies grow it "

@@ -1,21 +1,30 @@
 """Command-line interface.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro.cli experiments [NAME ...] [--scale S]
         Regenerate the paper's tables/figures (default: all).
 
     python -m repro.cli render [--grid N] [--image W] [--config C]
                                [--algorithm A] [--copies K] [--policy P]
-                               [--out FILE.ppm]
+                               [--out FILE.ppm] [--trace] [--trace-out F]
         Render a real isosurface through the threaded pipeline and write a
         PPM image.
 
     python -m repro.cli simulate [--dataset {1.5gb,25gb}] [--scale S]
                                  [--rogue N] [--blue N] [--bg-jobs J]
                                  [--config C] [--policy P] [--image W]
+                                 [--trace] [--trace-out F]
         Run one scheduling scenario on the simulated UMD testbed and print
         the makespan and stream statistics.
+
+    python -m repro.cli trace FILE.jsonl [--width N]
+        Render the timeline and per-copy utilisation summary of a trace
+        exported with ``--trace-out`` (either engine).
+
+Both engines emit the same trace schema (:mod:`repro.core.tracing`), so
+``--trace``/``--trace-out`` work identically on ``render`` (threaded,
+wall clock) and ``simulate`` (simulated clock).
 """
 
 from __future__ import annotations
@@ -91,7 +100,11 @@ def _cmd_render(args: argparse.Namespace) -> int:
     )
     graph = app.graph(args.config)
     placement = app.placement(args.config, copies_per_host=args.copies)
-    metrics = ThreadedEngine(graph, placement, policy=args.policy).run()
+    tracer = _make_tracer(args)
+    metrics = ThreadedEngine(
+        graph, placement, policy=args.policy, tracer=tracer
+    ).run()
+    metrics.validate(graph)
     result = metrics.result
     with open(args.out, "wb") as fh:
         fh.write(f"P6 {args.image} {args.image} 255\n".encode())
@@ -100,7 +113,29 @@ def _cmd_render(args: argparse.Namespace) -> int:
         f"rendered {profile.total_triangles(args.timestep)} triangles, "
         f"{result.active_pixels} active pixels -> {args.out}"
     )
+    _emit_trace(args, tracer)
     return 0
+
+
+def _make_tracer(args: argparse.Namespace):
+    """A Tracer when ``--trace``/``--trace-out`` asked for one, else None."""
+    if not (args.trace or args.trace_out):
+        return None
+    from repro.core.tracing import Tracer
+
+    return Tracer()
+
+
+def _emit_trace(args: argparse.Namespace, tracer) -> None:
+    """Print and/or export a recorded trace, per the common trace flags."""
+    if tracer is None:
+        return
+    if args.trace:
+        print()
+        print(tracer.report())
+    if args.trace_out:
+        tracer.to_jsonl(args.trace_out)
+        print(f"trace     : {len(tracer.events)} events -> {args.trace_out}")
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -130,11 +165,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         profile, storage, width=args.image, height=args.image,
         algorithm=args.algorithm,
     )
-    tracer = None
-    if args.trace:
-        from repro.engines.trace import Tracer
-
-        tracer = Tracer()
+    tracer = _make_tracer(args)
     if args.auto_place:
         from repro.planner import auto_place
 
@@ -146,13 +177,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             print(f"auto-place: {note}")
     else:
         placement = app.placement(args.config, compute_hosts=nodes)
+    graph = app.graph(args.config)
     metrics = SimulatedEngine(
         cluster,
-        app.graph(args.config),
+        graph,
         placement,
         policy=args.policy,
         tracer=tracer,
     ).run()
+    metrics.validate(graph)
     print(f"dataset   : {profile.name}")
     print(f"makespan  : {metrics.makespan:.3f} s")
     for stream, stats in sorted(metrics.streams.items()):
@@ -161,11 +194,36 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             f"{stats.bytes / 1e6:9.2f} MB"
         )
     if metrics.ack_messages:
-        print(f"acks      : {metrics.ack_messages}")
-    if tracer is not None:
-        print()
-        print(tracer.timeline())
+        print(
+            f"acks      : {metrics.ack_messages} messages "
+            f"{metrics.ack_bytes / 1e3:.1f} kB"
+        )
+    _emit_trace(args, tracer)
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.tracing import Tracer
+
+    try:
+        tracer = Tracer.from_jsonl(args.file)
+    except OSError as exc:
+        print(f"cannot read trace {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"malformed trace {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    if tracer.clock:
+        print(f"clock: {tracer.clock}")
+    print(tracer.report(width=args.width))
+    return 0
+
+
+def _strip_width(text: str) -> int:
+    width = int(text)
+    if width < 1:
+        raise argparse.ArgumentTypeError("width must be >= 1")
+    return width
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -198,6 +256,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_render.add_argument("--files", type=int, default=8)
     p_render.add_argument("--seed", type=int, default=7)
     p_render.add_argument("--out", default="render.ppm")
+    p_render.add_argument("--trace", action="store_true",
+                          help="print a per-copy activity timeline")
+    p_render.add_argument("--trace-out", default=None, metavar="FILE",
+                          help="export the trace as JSONL (see 'repro trace')")
     p_render.set_defaults(func=_cmd_render)
 
     p_sim = sub.add_parser("simulate", help="run one simulated scenario")
@@ -218,7 +280,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="derive placement/copies with repro.planner")
     p_sim.add_argument("--trace", action="store_true",
                        help="print a per-copy activity timeline")
+    p_sim.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="export the trace as JSONL (see 'repro trace')")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_trace = sub.add_parser(
+        "trace", help="render a timeline from an exported JSONL trace"
+    )
+    p_trace.add_argument("file", help="JSONL trace written with --trace-out")
+    p_trace.add_argument("--width", type=_strip_width, default=64,
+                         help="timeline strip width (characters)")
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -27,6 +27,7 @@ from repro.core.policies import (
     WriterPolicy,
     make_policy_factory,
 )
+from repro.core.tracing import EVENT_KINDS, QueueSample, TraceEvent, Tracer
 
 __all__ = [
     "BufferBounds",
@@ -34,12 +35,14 @@ __all__ = [
     "CopyStats",
     "DataBuffer",
     "DemandDriven",
+    "EVENT_KINDS",
     "Filter",
     "FilterContext",
     "FilterGraph",
     "FilterSpec",
     "Placement",
     "PolicyFactory",
+    "QueueSample",
     "RateBased",
     "RoundRobin",
     "RunMetrics",
@@ -49,6 +52,8 @@ __all__ = [
     "StreamSpec",
     "StreamStats",
     "Target",
+    "TraceEvent",
+    "Tracer",
     "WeightedRoundRobin",
     "WriterPolicy",
     "chunk_bytes",

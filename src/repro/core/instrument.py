@@ -14,7 +14,13 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["StreamStats", "CopyStats", "RunMetrics"]
+from repro.errors import MetricsError
+
+__all__ = ["DEFAULT_ACK_BYTES", "StreamStats", "CopyStats", "RunMetrics"]
+
+#: Wire size of a demand-driven acknowledgment message; shared by both
+#: engines so DD overhead accounting is comparable across backends.
+DEFAULT_ACK_BYTES = 64
 
 
 @dataclass
@@ -62,6 +68,8 @@ class RunMetrics:
         #: total acknowledgment messages sent (DD overhead accounting)
         self.ack_messages: int = 0
         self.ack_bytes: int = 0
+        #: per-message ack wire size the engine used (0 = engine never set it)
+        self.ack_nbytes: int = 0
 
     # -- registration ----------------------------------------------------------
     def new_copy(self, filter_name: str, host: str, copy_index: int) -> CopyStats:
@@ -117,4 +125,92 @@ class RunMetrics:
             },
             "filters": sorted({c.filter_name for c in self.copies}),
             "ack_messages": self.ack_messages,
+            "ack_bytes": self.ack_bytes,
         }
+
+    # -- consistency -----------------------------------------------------------
+    def validate(self, graph: Any = None) -> "RunMetrics":
+        """Cross-check counter conservation; raise :class:`MetricsError` if
+        the run's books don't balance.
+
+        Checks (all engine-agnostic):
+
+        - every buffer recorded on a stream was sent by exactly one copy and
+          consumed by exactly one copy (``sum(buffers_out) == stream buffers
+          == sum(buffers_in)``);
+        - ack conservation: ``ack_bytes == ack_messages * ack_nbytes`` (a
+          policy that acknowledges messages must account their bytes), and
+          at most one ack per delivered buffer;
+        - no negative times; a run that moved buffers has a positive
+          makespan and at least one positive per-copy finish time.
+
+        With ``graph`` (a :class:`repro.core.graph.FilterGraph`) the stream
+        totals are additionally checked per filter: the buffers carried by a
+        filter's input streams must equal the buffers its copies consumed.
+
+        Returns ``self`` so call sites can chain
+        ``engine.run().validate(graph)``.
+        """
+        problems: list[str] = []
+        stream_buffers = sum(s.buffers for s in self.streams.values())
+        total_out = sum(c.buffers_out for c in self.copies)
+        total_in = sum(c.buffers_in for c in self.copies)
+        if total_out != stream_buffers:
+            problems.append(
+                f"buffers_out total {total_out} != stream buffer total "
+                f"{stream_buffers}"
+            )
+        if total_in != stream_buffers:
+            problems.append(
+                f"buffers_in total {total_in} != stream buffer total "
+                f"{stream_buffers} (delivered buffers must be consumed "
+                f"exactly once)"
+            )
+        if self.ack_nbytes:
+            expected_ack_bytes = self.ack_messages * self.ack_nbytes
+            if self.ack_bytes != expected_ack_bytes:
+                problems.append(
+                    f"ack_bytes {self.ack_bytes} != ack_messages "
+                    f"{self.ack_messages} * ack_nbytes {self.ack_nbytes}"
+                )
+        elif self.ack_messages and not self.ack_bytes:
+            problems.append(
+                f"{self.ack_messages} ack messages counted but ack_bytes is 0"
+            )
+        if self.ack_messages > stream_buffers:
+            problems.append(
+                f"ack_messages {self.ack_messages} exceeds delivered buffers "
+                f"{stream_buffers} (at most one ack per buffer)"
+            )
+        if self.makespan < 0:
+            problems.append(f"negative makespan {self.makespan}")
+        for copy in self.copies:
+            label = f"{copy.filter_name}@{copy.host}#{copy.copy_index}"
+            for attr in ("busy_time", "io_time", "finished_at"):
+                value = getattr(copy, attr)
+                if value < 0:
+                    problems.append(f"{label}: negative {attr} {value}")
+        if stream_buffers and self.copies:
+            if all(c.finished_at == 0.0 for c in self.copies):
+                problems.append(
+                    "buffers moved but no copy recorded a finish time "
+                    "(finished_at never set)"
+                )
+        if graph is not None:
+            for name, spec in graph.filters.items():
+                if not spec.inputs:
+                    continue
+                expected = sum(
+                    self.streams[s.name].buffers
+                    for s in spec.inputs
+                    if s.name in self.streams
+                )
+                got = self.filter_buffers_in(name)
+                if expected != got:
+                    problems.append(
+                        f"filter {name!r}: input streams carried {expected} "
+                        f"buffers but its copies consumed {got}"
+                    )
+        if problems:
+            raise MetricsError("; ".join(problems))
+        return self

@@ -126,12 +126,17 @@ class WeightedRoundRobin(WriterPolicy):
         self._next = 0
 
     def bind(self, targets: list[Target]) -> None:
-        """Attach the consumer copy sets and precompute the cycle."""
+        """Attach the consumer copy sets and precompute the cycle.
+
+        Rebinding restarts the cycle: the cursor always points into the
+        *current* cycle, never at a stale offset from a previous target set.
+        """
         super().bind(targets)
         max_copies = max(t.copies for t in self.targets)
         self._cycle = [
             t for round_ in range(max_copies) for t in self.targets if t.copies > round_
         ]
+        self._next = 0
 
     def select(self) -> Target | None:
         """Pick the destination copy set for the next buffer."""
@@ -245,11 +250,7 @@ class RateBased(WriterPolicy):
         """Pick the destination copy set for the next buffer."""
         probe: Target | None = None
         for target in self.targets:
-            if (
-                target.index not in self._ewma
-                and target.unacked == 0
-                and target.unacked < self.window
-            ):
+            if target.index not in self._ewma and target.unacked == 0:
                 if probe is None or (
                     self.prefer_local and target.local and not probe.local
                 ):

@@ -31,20 +31,17 @@ from typing import Any
 from repro.core.buffer import DataBuffer
 from repro.core.filter import FilterContext, SimFilter, SimSource
 from repro.core.graph import FilterGraph
-from repro.core.instrument import CopyStats, RunMetrics
+from repro.core.instrument import DEFAULT_ACK_BYTES, CopyStats, RunMetrics
 from repro.core.placement import Placement
 from repro.core.policies import PolicyFactory, Target, make_policy_factory
+from repro.core.tracing import Tracer
 from repro.engines.base import Engine
-from repro.engines.trace import Tracer
 from repro.errors import EngineError, StreamClosedError
 from repro.sim.cluster import Cluster
 from repro.sim.kernel import Environment, Event
 from repro.sim.store import Store
 
 __all__ = ["SimulatedEngine", "PendingRun", "run_concurrent"]
-
-#: Size of a demand-driven acknowledgment message on the wire.
-DEFAULT_ACK_BYTES = 64
 
 #: Default per-copy-set queue capacity (buffers).
 DEFAULT_QUEUE_CAPACITY = 8
@@ -62,16 +59,18 @@ class _Envelope:
     stream: str
     writer: "_Writer | None"  # ack destination (None unless policy needs acks)
     target: Target | None
+    sent_at: float = 0.0  # producer clock at send, for ack-latency tracing
 
 
 class _Writer:
     """Producer-side router for one (copy, output stream) pair."""
 
-    __slots__ = ("env", "policy", "targets", "copysets", "ack_event", "host")
+    __slots__ = ("env", "policy", "targets", "copysets", "ack_event", "host", "label")
 
-    def __init__(self, env: Environment, host: str, policy, copysets):
+    def __init__(self, env: Environment, host: str, policy, copysets, label: str = ""):
         self.env = env
         self.host = host
+        self.label = label or host
         self.policy = policy
         policy.clock = lambda: env.now  # time-aware policies see sim time
         self.copysets = copysets  # parallel to policy targets
@@ -148,8 +147,10 @@ class SimulatedEngine(Engine):
     ack_nbytes:
         Wire size of a DD acknowledgment message.
     tracer:
-        Optional :class:`repro.engines.trace.Tracer` recording per-copy
-        events (recv / compute / io / send / flush / done).
+        Optional :class:`repro.core.tracing.Tracer` recording per-copy
+        events in the unified schema (recv / compute / io / send / ack /
+        flush / done / blocked) plus queue-depth samples, timestamped in
+        simulated seconds.
     """
 
     def __init__(
@@ -239,6 +240,9 @@ class SimulatedEngine(Engine):
         env = self.env
         start = env.now
         metrics = RunMetrics()
+        metrics.ack_nbytes = self.ack_nbytes
+        if self.tracer is not None and not self.tracer.clock:
+            self.tracer.clock = "sim"
 
         # Copy-set runtimes, keyed by (filter, host).
         copysets: dict[str, list[_CopySetRuntime]] = {}
@@ -275,12 +279,14 @@ class SimulatedEngine(Engine):
                         write_fn=_reject_ctx_write,
                     )
                     stats = metrics.new_copy(name, cs_runtime.host, copy_index)
+                    label = f"{name}@{cs_runtime.host}#{copy_index}"
                     writers = {
                         s.name: _Writer(
                             env,
                             cs_runtime.host,
                             self._policy_for(s.name)(),
                             copysets[s.dst],
+                            label=label,
                         )
                         for s in spec.outputs
                     }
@@ -331,12 +337,14 @@ class SimulatedEngine(Engine):
         for item in state.items(ctx):
             if item.read_bytes:
                 t0 = env.now
+                if tracer:
+                    tracer.record(t0, label, "io", "start")
                 yield host.read_disk(
                     item.read_bytes, item.disk_index, sequential=item.sequential
                 )
                 stats.io_time += env.now - t0
                 if tracer:
-                    tracer.record(env.now, label, "io", f"{item.read_bytes}B")
+                    tracer.record(env.now, label, "io", "end")
             if item.cpu:
                 t0 = env.now
                 if tracer:
@@ -346,18 +354,24 @@ class SimulatedEngine(Engine):
                 if tracer:
                     tracer.record(env.now, label, "compute", "end")
             for out in item.outputs:
-                yield from self._send(spec.name, ctx.host, stats, writers, out, metrics)
+                yield from self._send(
+                    spec.name, ctx.host, stats, writers, out, metrics, label=label
+                )
         fcost = state.flush_cost()
+        t0 = env.now
+        if tracer:
+            # Always mark the flush transition (zero-length without cost)
+            # so both engines trace the same copy lifecycle.
+            tracer.record(t0, label, "flush", "start")
         if fcost:
-            t0 = env.now
-            if tracer:
-                tracer.record(t0, label, "compute", "start")
             yield host.compute(fcost)
             stats.busy_time += env.now - t0
-            if tracer:
-                tracer.record(env.now, label, "compute", "end")
+        if tracer:
+            tracer.record(env.now, label, "flush", "end")
         for out in state.flush_outputs():
-            yield from self._send(spec.name, ctx.host, stats, writers, out, metrics)
+            yield from self._send(
+                spec.name, ctx.host, stats, writers, out, metrics, label=label
+            )
         yield from self._announce_done(ctx.host, writers)
         stats.finished_at = env.now
         if tracer:
@@ -387,8 +401,13 @@ class SimulatedEngine(Engine):
             stats.buffers_in += 1
             if tracer:
                 tracer.record(env.now, label, "recv", envelope.stream)
+                tracer.sample_queue(
+                    env.now,
+                    f"{cs_runtime.filter_name}@{cs_runtime.host}",
+                    len(cs_runtime.store),
+                )
             if envelope.writer is not None:
-                self._send_ack(ctx.host, envelope.writer, envelope.target, metrics)
+                self._send_ack(ctx.host, envelope, metrics)
             cost = state.cost(envelope.buffer)
             if cost:
                 t0 = env.now
@@ -399,18 +418,24 @@ class SimulatedEngine(Engine):
                 if tracer:
                     tracer.record(env.now, label, "compute", "end")
             for out in state.react(envelope.buffer):
-                yield from self._send(spec.name, ctx.host, stats, writers, out, metrics)
+                yield from self._send(
+                    spec.name, ctx.host, stats, writers, out, metrics, label=label
+                )
         fcost = state.flush_cost()
+        t0 = env.now
+        if tracer:
+            # Always mark the flush transition (zero-length without cost)
+            # so both engines trace the same copy lifecycle.
+            tracer.record(t0, label, "flush", "start")
         if fcost:
-            t0 = env.now
-            if tracer:
-                tracer.record(t0, label, "compute", "start")
             yield host.compute(fcost)
             stats.busy_time += env.now - t0
-            if tracer:
-                tracer.record(env.now, label, "compute", "end")
+        if tracer:
+            tracer.record(env.now, label, "flush", "end")
         for out in state.flush_outputs():
-            yield from self._send(spec.name, ctx.host, stats, writers, out, metrics)
+            yield from self._send(
+                spec.name, ctx.host, stats, writers, out, metrics, label=label
+            )
         yield from self._announce_done(ctx.host, writers)
         if not spec.outputs:
             value = state.result()
@@ -430,6 +455,7 @@ class SimulatedEngine(Engine):
         buffer: DataBuffer,
         metrics: RunMetrics,
         stream: str | None = None,
+        label: str | None = None,
     ) -> Generator[Event, Any, None]:
         """Route one buffer: pick a copy set, transfer, enqueue."""
         if stream is None:
@@ -446,12 +472,22 @@ class SimulatedEngine(Engine):
                     f"filter {filter_name!r} has no output stream {stream!r}"
                 )
         writer = writers[stream]
+        tracer = self.tracer
+        if label is None:
+            label = writer.label
         target = writer.policy.select()
-        while target is None:
-            pending = writer.ack_event
-            yield pending
-            target = writer.policy.select()
+        if target is None:
+            # All windows full: the writer stalls until an ack returns.
+            if tracer:
+                tracer.record(self.env.now, label, "blocked", "start")
+            while target is None:
+                pending = writer.ack_event
+                yield pending
+                target = writer.policy.select()
+            if tracer:
+                tracer.record(self.env.now, label, "blocked", "end")
         writer.policy.on_sent(target)
+        sent_at = self.env.now
         dst = writer.copyset_for(target)
         yield self.cluster.transfer(src_host, dst.host, buffer.nbytes)
         envelope = _Envelope(
@@ -459,27 +495,42 @@ class SimulatedEngine(Engine):
             stream,
             writer if writer.policy.needs_ack else None,
             target if writer.policy.needs_ack else None,
+            sent_at=sent_at,
         )
         yield dst.store.put(envelope)
         stats.buffers_out += 1
         # Account traffic at delivery.
         metrics.streams[stream].record(src_host, dst.host, buffer.nbytes)
-        if self.tracer:
-            self.tracer.record(
-                self.env.now,
-                f"{filter_name}@{src_host}",
-                "send",
-                f"{stream}->{dst.host}",
+        if tracer:
+            tracer.record(
+                self.env.now, label, "send", f"{stream}->{dst.host}"
+            )
+            tracer.sample_queue(
+                self.env.now, f"{dst.filter_name}@{dst.host}", len(dst.store)
             )
 
     def _send_ack(
-        self, consumer_host: str, writer: _Writer, target: Target, metrics: RunMetrics
+        self, consumer_host: str, envelope: _Envelope, metrics: RunMetrics
     ) -> None:
         """Fire-and-forget acknowledgment back to the producing copy."""
         metrics.ack_messages += 1
         metrics.ack_bytes += self.ack_nbytes
+        writer, target = envelope.writer, envelope.target
+        sent_at = envelope.sent_at
         transfer = self.cluster.transfer(consumer_host, writer.host, self.ack_nbytes)
-        transfer.callbacks.append(lambda _ev: writer.deliver_ack(target))
+
+        def _deliver(_ev: Event) -> None:
+            writer.deliver_ack(target)
+            if self.tracer:
+                # Round-trip latency: producer send to ack delivery.
+                self.tracer.record(
+                    self.env.now,
+                    writer.label,
+                    "ack",
+                    f"{self.env.now - sent_at:.9f}",
+                )
+
+        transfer.callbacks.append(_deliver)
 
     def _announce_done(
         self, src_host: str, writers: dict[str, _Writer]

@@ -18,14 +18,16 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections.abc import Callable
 from typing import Any
 
 from repro.core.buffer import DataBuffer
 from repro.core.filter import Filter, FilterContext
 from repro.core.graph import FilterGraph
-from repro.core.instrument import RunMetrics
+from repro.core.instrument import DEFAULT_ACK_BYTES, RunMetrics
 from repro.core.placement import Placement
 from repro.core.policies import PolicyFactory, Target, make_policy_factory
+from repro.core.tracing import Tracer
 from repro.engines.base import Engine
 from repro.errors import EngineError
 
@@ -62,9 +64,21 @@ class _CopySetQueue:
 class _Writer:
     """Thread-safe producer-side router for one (copy, stream) pair."""
 
-    def __init__(self, host: str, policy, copysets: list[_CopySetQueue], hosts: list[str]):
+    def __init__(
+        self,
+        host: str,
+        policy,
+        copysets: list[_CopySetQueue],
+        hosts: list[str],
+        label: str = "",
+        clock: "Callable[[], float] | None" = None,
+        tracer: "Tracer | None" = None,
+    ):
         self.policy = policy
         self.copysets = copysets
+        self.label = label or host
+        self.clock = clock or time.monotonic
+        self.tracer = tracer
         targets = [
             Target(i, h, cs.copies, local=(h == host))
             for i, (h, cs) in enumerate(zip(hosts, copysets))
@@ -76,30 +90,44 @@ class _Writer:
         """Route one envelope via the policy; blocks while windows are full."""
         with self._cond:
             target = self.policy.select()
-            while target is None:
-                self._cond.wait()
-                target = self.policy.select()
+            if target is None:
+                # All windows full: the writer stalls until an ack returns.
+                if self.tracer:
+                    self.tracer.record(self.clock(), self.label, "blocked", "start")
+                while target is None:
+                    self._cond.wait()
+                    target = self.policy.select()
+                if self.tracer:
+                    self.tracer.record(self.clock(), self.label, "blocked", "end")
             self.policy.on_sent(target)
         envelope.writer = self if self.policy.needs_ack else None
         envelope.target = target if self.policy.needs_ack else None
+        envelope.sent_at = self.clock()
         self.copysets[target.index].put(envelope)
         return target
 
-    def deliver_ack(self, target: Target) -> None:
+    def deliver_ack(self, envelope: "_Envelope") -> None:
         """Apply a consumer acknowledgment and wake blocked senders."""
         with self._cond:
-            self.policy.on_ack(target)
+            self.policy.on_ack(envelope.target)
             self._cond.notify_all()
+        if self.tracer:
+            # Round-trip latency: producer send to ack delivery.
+            now = self.clock()
+            self.tracer.record(
+                now, self.label, "ack", f"{now - envelope.sent_at:.9f}"
+            )
 
 
 class _Envelope:
-    __slots__ = ("buffer", "stream", "writer", "target")
+    __slots__ = ("buffer", "stream", "writer", "target", "sent_at")
 
     def __init__(self, buffer: DataBuffer, stream: str):
         self.buffer = buffer
         self.stream = stream
         self.writer: _Writer | None = None
         self.target: Target | None = None
+        self.sent_at = 0.0
 
 
 class ThreadedEngine(Engine):
@@ -110,6 +138,12 @@ class ThreadedEngine(Engine):
     :class:`repro.core.filter.Filter`.  Source filters (no input streams)
     receive no ``handle`` calls; they generate all their output from
     ``flush`` via ``ctx.write``.
+
+    ``ack_nbytes`` is the nominal wire size of one DD acknowledgment
+    (``RunMetrics.ack_bytes`` accounting, matching the simulated engine);
+    ``tracer`` is an optional :class:`repro.core.tracing.Tracer` that
+    records the unified event schema (recv / compute / send / ack / flush /
+    done / blocked) with wall-clock timestamps relative to run start.
     """
 
     def __init__(
@@ -119,6 +153,8 @@ class ThreadedEngine(Engine):
         policy: str | PolicyFactory = "DD",
         policy_overrides: dict[str, str | PolicyFactory] | None = None,
         queue_capacity: int = 8,
+        ack_nbytes: int = DEFAULT_ACK_BYTES,
+        tracer: "Tracer | None" = None,
     ):
         graph.validate()
         hosts = {
@@ -138,6 +174,8 @@ class ThreadedEngine(Engine):
         self.graph = graph
         self.placement = placement
         self.queue_capacity = queue_capacity
+        self.ack_nbytes = ack_nbytes
+        self.tracer = tracer
         self._default_factory = self._resolve(policy)
         self._stream_factories = {
             name: self._resolve(p) for name, p in (policy_overrides or {}).items()
@@ -178,7 +216,16 @@ class ThreadedEngine(Engine):
             raise EngineError("run_cycles() needs at least one unit of work")
         ncycles = len(uows)
         metrics_list = [RunMetrics() for _ in uows]
+        for metrics in metrics_list:
+            metrics.ack_nbytes = self.ack_nbytes
         t_start = time.perf_counter()
+        # All timestamps (trace events, per-copy finished_at, makespan) are
+        # wall-clock seconds relative to run start, so they are directly
+        # comparable to the simulated engine's run-relative sim clock.
+        clock = lambda: time.perf_counter() - t_start  # noqa: E731
+        tracer = self.tracer
+        if tracer is not None and not tracer.clock:
+            tracer.clock = "wall"
 
         # Per-cycle queues, pre-created so cycles pipeline without barriers.
         copysets: dict[str, list[list[_CopySetQueue]]] = {}
@@ -220,9 +267,11 @@ class ThreadedEngine(Engine):
             except BaseException as exc:  # noqa: BLE001
                 errors.append(exc)
                 instance = None
+            label = f"{spec.name}@{host}#{copy_index}"
             for k, uow in enumerate(uows):
                 metrics = metrics_list[k]
                 announced = False
+                stats = None
                 try:
                     if instance is None:
                         raise EngineError(f"filter {spec.name!r} failed to build")
@@ -232,6 +281,9 @@ class ThreadedEngine(Engine):
                             self._policy_for(st.name)(),
                             [sets[k] for sets in copysets[st.dst]],
                             copyset_hosts[st.dst],
+                            label=label,
+                            clock=clock,
+                            tracer=tracer,
                         )
                         for st in spec.outputs
                     }
@@ -244,6 +296,10 @@ class ThreadedEngine(Engine):
                         with results_lock:
                             metrics.streams[stream].record(
                                 host, target.host, buffer.nbytes
+                            )
+                        if tracer:
+                            tracer.record(
+                                clock(), label, "send", f"{stream}->{target.host}"
                             )
 
                     ctx = FilterContext(
@@ -266,16 +322,32 @@ class ThreadedEngine(Engine):
                                 break
                             envelope: _Envelope = item
                             stats.buffers_in += 1
+                            if tracer:
+                                tracer.record(clock(), label, "recv", envelope.stream)
+                                tracer.sample_queue(
+                                    clock(),
+                                    f"{spec.name}@{host}",
+                                    my_queue.queue.qsize(),
+                                )
                             if envelope.writer is not None:
                                 with results_lock:
                                     metrics.ack_messages += 1
-                                envelope.writer.deliver_ack(envelope.target)
+                                    metrics.ack_bytes += self.ack_nbytes
+                                envelope.writer.deliver_ack(envelope)
                             t0 = time.perf_counter()
+                            if tracer:
+                                tracer.record(clock(), label, "compute", "start")
                             instance.handle(ctx, envelope.buffer)
                             busy += time.perf_counter() - t0
+                            if tracer:
+                                tracer.record(clock(), label, "compute", "end")
                     t0 = time.perf_counter()
+                    if tracer:
+                        tracer.record(clock(), label, "flush", "start")
                     instance.flush(ctx)
                     busy += time.perf_counter() - t0
+                    if tracer:
+                        tracer.record(clock(), label, "flush", "end")
                     stats.busy_time = busy
                     instance.finalize(ctx)
                     for st in spec.outputs:
@@ -292,6 +364,8 @@ class ThreadedEngine(Engine):
                                     metrics.result.append(value)
                                 else:
                                     metrics.result = [metrics.result, value]
+                    if tracer:
+                        tracer.record(clock(), label, "done", f"cycle={k}")
                 except BaseException as exc:  # noqa: BLE001 - surfaced later
                     errors.append(exc)
                     # Drain this cycle's queue up to our stop marker so
@@ -307,7 +381,7 @@ class ThreadedEngine(Engine):
                             # Acknowledge discarded buffers so DD windows
                             # upstream keep moving.
                             if item.writer is not None:
-                                item.writer.deliver_ack(item.target)
+                                item.writer.deliver_ack(item)
                 finally:
                     if not announced:
                         for st in spec.outputs:
@@ -316,10 +390,14 @@ class ThreadedEngine(Engine):
                                     sets[k].producer_finished()
                                 except BaseException:
                                     pass
+                    if stats is not None:
+                        # Cycle-relative finish time, on the same clock as
+                        # makespan (wall seconds since run start).
+                        stats.finished_at = clock()
                     with finish_lock:
                         remaining[k] -= 1
                         if remaining[k] == 0:
-                            finished_at[k] = time.perf_counter()
+                            finished_at[k] = clock()
 
         for name, spec in self.graph.filters.items():
             total = self.placement.total_copies(name)
@@ -339,5 +417,5 @@ class ThreadedEngine(Engine):
         if errors:
             raise EngineError(f"filter copy failed: {errors[0]!r}") from errors[0]
         for k, metrics in enumerate(metrics_list):
-            metrics.makespan = finished_at[k] - t_start
+            metrics.makespan = finished_at[k]
         return metrics_list

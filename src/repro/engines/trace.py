@@ -1,84 +1,13 @@
-"""Execution tracing for the simulated engine.
+"""Compatibility shim — tracing moved to :mod:`repro.core.tracing`.
 
-A :class:`Tracer` passed to :class:`~repro.engines.simulated.SimulatedEngine`
-records one event per interesting transition of every filter copy — buffer
-received, CPU charged, disk read, buffer sent, end-of-work — with simulated
-timestamps.  Useful for debugging pipelines ("why is the merge idle until
-t=4?") and for the timeline view in :meth:`Tracer.timeline`.
+The tracer used to be simulated-engine-only; it is now the engine-agnostic
+observability layer shared by both engines.  Import :class:`Tracer` and
+:class:`TraceEvent` from :mod:`repro.core.tracing`; this module re-exports
+them for existing callers.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass
+from repro.core.tracing import EVENT_KINDS, QueueSample, TraceEvent, Tracer
 
-__all__ = ["TraceEvent", "Tracer"]
-
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One recorded transition."""
-
-    time: float
-    copy: str  # "filter@host#index"
-    kind: str  # recv | compute | io | send | flush | done
-    detail: str = ""
-
-
-class Tracer:
-    """Collects :class:`TraceEvent` records during a simulated run."""
-
-    def __init__(self, limit: int = 1_000_000):
-        if limit < 1:
-            raise ValueError(f"limit must be >= 1, got {limit}")
-        self.limit = limit
-        self.events: list[TraceEvent] = []
-        self.dropped = 0
-
-    def record(self, time: float, copy: str, kind: str, detail: str = "") -> None:
-        """Append one event (drops silently past ``limit``)."""
-        if len(self.events) >= self.limit:
-            self.dropped += 1
-            return
-        self.events.append(TraceEvent(time, copy, kind, detail))
-
-    # -- queries ---------------------------------------------------------------
-    def for_copy(self, copy: str) -> list[TraceEvent]:
-        """Events of one copy, in time order."""
-        return [e for e in self.events if e.copy == copy]
-
-    def counts(self) -> dict[str, int]:
-        """Event-kind histogram."""
-        return dict(Counter(e.kind for e in self.events))
-
-    def busy_spans(self, copy: str) -> list[tuple[float, float]]:
-        """(start, end) spans of CPU work for one copy."""
-        spans = []
-        start = None
-        for event in self.for_copy(copy):
-            if event.kind == "compute" and event.detail == "start":
-                start = event.time
-            elif event.kind == "compute" and event.detail == "end" and start is not None:
-                spans.append((start, event.time))
-                start = None
-        return spans
-
-    def timeline(self, width: int = 64) -> str:
-        """A coarse per-copy activity strip (``#`` = computing)."""
-        if not self.events:
-            return "(no events)"
-        t0 = min(e.time for e in self.events)
-        t1 = max(e.time for e in self.events)
-        span = max(t1 - t0, 1e-12)
-        copies = sorted({e.copy for e in self.events})
-        name_w = max(len(c) for c in copies)
-        lines = [f"trace {t0:.3f}s .. {t1:.3f}s ({len(self.events)} events)"]
-        for copy in copies:
-            strip = [" "] * width
-            for start, end in self.busy_spans(copy):
-                a = int((start - t0) / span * (width - 1))
-                b = int((end - t0) / span * (width - 1))
-                for i in range(a, b + 1):
-                    strip[i] = "#"
-            lines.append(f"{copy:<{name_w}} |{''.join(strip)}|")
-        return "\n".join(lines)
+__all__ = ["EVENT_KINDS", "QueueSample", "TraceEvent", "Tracer"]

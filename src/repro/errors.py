@@ -49,3 +49,7 @@ class DataError(ReproError):
 
 class ConfigurationError(ReproError):
     """Invalid user-supplied configuration (cluster, policy, experiment)."""
+
+
+class MetricsError(ReproError):
+    """Run-metrics consistency violation (see ``RunMetrics.validate``)."""

@@ -108,7 +108,9 @@ def run_datacutter(
     """Render ``timesteps`` consecutively with the DataCutter engine.
 
     Returns one :class:`RunMetrics` per timestep; reuse :func:`mean` over
-    their ``makespan`` for paper-style averages.
+    their ``makespan`` for paper-style averages.  Every run's counters are
+    cross-checked with :meth:`RunMetrics.validate` before being returned,
+    so a paper table can never be derived from books that don't balance.
     """
     results = []
     for t in timesteps:
@@ -130,5 +132,5 @@ def run_datacutter(
         engine = SimulatedEngine(
             cluster, graph, placement, policy=policy, **(engine_kwargs or {})
         )
-        results.append(engine.run())
+        results.append(engine.run().validate(graph))
     return results

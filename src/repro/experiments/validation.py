@@ -51,9 +51,10 @@ def run(grid: int = 17, image: int = 64, isovalue: float = 0.35) -> ResultTable:
             profile, storage, width=image, height=image, algorithm=algorithm,
             dataset=dataset, isovalue=isovalue,
         )
+        real_graph = app.graph("R-E-Ra-M")
         real = ThreadedEngine(
-            app.graph("R-E-Ra-M"), app.placement("R-E-Ra-M")
-        ).run()
+            real_graph, app.placement("R-E-Ra-M")
+        ).run().validate(real_graph)
         digests[algorithm] = _image_digest(real.result.image)
         # Simulated replay.
         env = Environment()
@@ -62,10 +63,11 @@ def run(grid: int = 17, image: int = 64, isovalue: float = 0.35) -> ResultTable:
         sim_app = IsosurfaceApp(
             profile, storage, width=image, height=image, algorithm=algorithm
         )
+        sim_graph = sim_app.graph("R-E-Ra-M")
         sim = SimulatedEngine(
-            cluster, sim_app.graph("R-E-Ra-M"), sim_app.placement("R-E-Ra-M"),
+            cluster, sim_graph, sim_app.placement("R-E-Ra-M"),
             policy="RR",
-        ).run()
+        ).run().validate(sim_graph)
         for stream, label in (
             ("R->E", "voxel bytes"),
             ("E->Ra", "triangle bytes"),
@@ -81,6 +83,17 @@ def run(grid: int = 17, image: int = 64, isovalue: float = 0.35) -> ResultTable:
                 agreement="exact" if exact else
                 f"estimate ({s_bytes / max(t_bytes, 1):.2f}x)",
             )
+        # Metrics parity: both engines must time-stamp every copy's finish.
+        t_done = sum(1 for c in real.copies if c.finished_at > 0)
+        s_done = sum(1 for c in sim.copies if c.finished_at > 0)
+        table.add(
+            quantity=f"{algorithm}: copies with finish time",
+            threaded=f"{t_done}/{len(real.copies)}",
+            simulated=f"{s_done}/{len(sim.copies)}",
+            agreement="exact"
+            if t_done == len(real.copies) and s_done == len(sim.copies)
+            else "MISMATCH",
+        )
 
     table.add(
         quantity="image digest (zbuffer vs active)",

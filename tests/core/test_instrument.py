@@ -70,3 +70,118 @@ def test_summary_shape():
     assert summary["streams"] == {"s": (1, 9)}
     assert summary["filters"] == ["f"]
     assert summary["ack_messages"] == 3
+
+
+def make_balanced_metrics():
+    """Books that balance: 1 source -> 2 consumed buffers on one stream."""
+    metrics = RunMetrics()
+    src = metrics.new_copy("src", "h0", 0)
+    snk = metrics.new_copy("snk", "h0", 0)
+    src.buffers_out = 2
+    src.finished_at = 1.0
+    snk.buffers_in = 2
+    snk.finished_at = 2.0
+    metrics.streams["s"].record("h0", "h0", 10)
+    metrics.streams["s"].record("h0", "h0", 10)
+    metrics.makespan = 2.0
+    return metrics
+
+
+def test_validate_passes_on_balanced_books():
+    metrics = make_balanced_metrics()
+    assert metrics.validate() is metrics  # chains
+
+
+def test_validate_rejects_unconsumed_buffers():
+    from repro.errors import MetricsError
+
+    metrics = make_balanced_metrics()
+    metrics.copies[1].buffers_in = 1  # one delivered buffer vanished
+    with pytest.raises(MetricsError, match="buffers_in"):
+        metrics.validate()
+
+
+def test_validate_rejects_phantom_sends():
+    from repro.errors import MetricsError
+
+    metrics = make_balanced_metrics()
+    metrics.copies[0].buffers_out = 3
+    with pytest.raises(MetricsError, match="buffers_out"):
+        metrics.validate()
+
+
+def test_validate_rejects_ack_bytes_mismatch():
+    from repro.errors import MetricsError
+
+    metrics = make_balanced_metrics()
+    metrics.ack_nbytes = 64
+    metrics.ack_messages = 2
+    metrics.ack_bytes = 100  # != 2 * 64
+    with pytest.raises(MetricsError, match="ack_bytes"):
+        metrics.validate()
+
+
+def test_validate_rejects_unaccounted_ack_bytes():
+    from repro.errors import MetricsError
+
+    metrics = make_balanced_metrics()
+    metrics.ack_messages = 2  # engine never set ack_nbytes nor ack_bytes
+    with pytest.raises(MetricsError, match="ack_bytes is 0"):
+        metrics.validate()
+
+
+def test_validate_rejects_more_acks_than_buffers():
+    from repro.errors import MetricsError
+
+    metrics = make_balanced_metrics()
+    metrics.ack_nbytes = 64
+    metrics.ack_messages = 5
+    metrics.ack_bytes = 5 * 64
+    with pytest.raises(MetricsError, match="exceeds delivered"):
+        metrics.validate()
+
+
+def test_validate_rejects_missing_finish_times():
+    from repro.errors import MetricsError
+
+    metrics = make_balanced_metrics()
+    for copy in metrics.copies:
+        copy.finished_at = 0.0
+    with pytest.raises(MetricsError, match="finish time"):
+        metrics.validate()
+
+
+def test_validate_rejects_negative_times():
+    from repro.errors import MetricsError
+
+    metrics = make_balanced_metrics()
+    metrics.copies[0].busy_time = -1.0
+    with pytest.raises(MetricsError, match="negative busy_time"):
+        metrics.validate()
+
+
+def test_validate_with_graph_cross_checks_per_filter():
+    from repro.core.graph import FilterGraph
+    from repro.errors import MetricsError
+
+    graph = FilterGraph()
+    graph.add_filter("src", is_source=True)
+    graph.add_filter("snk")
+    graph.connect("src", "snk", name="s")
+    metrics = make_balanced_metrics()
+    metrics.validate(graph)
+    metrics.copies[1].buffers_in = 3
+    metrics.copies[0].buffers_out = 3  # keep totals self-consistent
+    metrics.streams["s"].record("h0", "h0", 10)
+    metrics.copies[1].filter_name = "other"
+    with pytest.raises(MetricsError, match="snk"):
+        metrics.validate(graph)
+
+
+def test_summary_includes_ack_bytes():
+    metrics = RunMetrics()
+    metrics.ack_messages = 3
+    metrics.ack_bytes = 192
+    summary = metrics.summary()
+    assert summary["ack_messages"] == 3
+    assert summary["ack_bytes"] == 192

@@ -159,3 +159,45 @@ def test_factory_instances_do_not_share_state():
     p2.bind(targets(("a", 1), ("b", 1)))
     p1.select()
     assert p2.select().host == "a"  # p2 unaffected by p1's cursor
+
+
+def test_wrr_rebind_resets_cursor():
+    # Rebinding to a new target set must restart the cycle: a stale cursor
+    # would skew the first picks toward whatever offset the old cycle
+    # happened to stop at.
+    policy = WeightedRoundRobin()
+    policy.bind(targets(("a", 2), ("b", 1)))
+    for _ in range(2):  # advance mid-cycle: a, b consumed, cursor at 2
+        policy.select()
+    policy.bind(targets(("c", 1), ("d", 1)))
+    assert [policy.select().host for _ in range(4)] == ["c", "d", "c", "d"]
+
+
+def test_wrr_rebind_same_targets_restarts_cycle():
+    policy = WeightedRoundRobin()
+    new = targets(("a", 2), ("b", 1))
+    policy.bind(new)
+    policy.select()  # cursor at 1
+    policy.bind(new)
+    assert policy.select().host == "a"
+
+
+def test_rate_probes_each_target_once_before_estimating():
+    from repro.core.policies import RateBased
+
+    policy = RateBased(window=4, prefer_local=False)
+    clock = [0.0]
+    policy.clock = lambda: clock[0]
+    policy.bind(targets(("a", 1), ("b", 1)))
+    # First two sends are probes (one per unmeasured idle target).
+    first = policy.select()
+    policy.on_sent(first)
+    second = policy.select()
+    policy.on_sent(second)
+    assert {first.host, second.host} == {"a", "b"}
+    # Acks form estimates; selection proceeds from scores, never None
+    # while windows have room.
+    clock[0] = 1.0
+    policy.on_ack(first)
+    policy.on_ack(second)
+    assert policy.select() is not None

@@ -1,0 +1,192 @@
+"""Unit tests for the engine-agnostic tracing layer."""
+
+import threading
+
+import pytest
+
+from repro.core.tracing import EVENT_KINDS, QueueSample, TraceEvent, Tracer
+
+
+def make_tracer():
+    """A tracer with one copy's worth of hand-written activity."""
+    tracer = Tracer(clock="sim")
+    tracer.record(0.0, "f@h#0", "recv", "s")
+    tracer.record(0.1, "f@h#0", "compute", "start")
+    tracer.record(0.3, "f@h#0", "compute", "end")
+    tracer.record(0.3, "f@h#0", "io", "start")
+    tracer.record(0.4, "f@h#0", "io", "end")
+    tracer.record(0.4, "f@h#0", "blocked", "start")
+    tracer.record(0.6, "f@h#0", "blocked", "end")
+    tracer.record(0.6, "f@h#0", "send", "s->h2")
+    tracer.record(0.7, "f@h#0", "ack", "0.125")
+    tracer.record(0.8, "f@h#0", "flush", "start")
+    tracer.record(0.9, "f@h#0", "flush", "end")
+    tracer.record(1.0, "f@h#0", "done")
+    tracer.sample_queue(0.0, "f@h", 3)
+    tracer.sample_queue(0.5, "f@h", 1)
+    return tracer
+
+
+def test_unknown_kind_rejected():
+    tracer = Tracer()
+    with pytest.raises(ValueError, match="unknown trace event kind"):
+        tracer.record(0.0, "c", "teleport")
+
+
+def test_all_schema_kinds_accepted():
+    tracer = Tracer()
+    for kind in EVENT_KINDS:
+        tracer.record(0.0, "c", kind)
+    assert len(tracer.events) == len(EVENT_KINDS)
+
+
+def test_spans_and_blocked_time():
+    tracer = make_tracer()
+    assert tracer.busy_spans("f@h#0") == [(0.1, 0.3)]
+    assert tracer.spans("f@h#0", "io") == [(0.3, 0.4)]
+    assert tracer.blocked_spans("f@h#0") == [(0.4, 0.6)]
+    assert tracer.blocked_time("f@h#0") == pytest.approx(0.2)
+    with pytest.raises(ValueError, match="not recorded as spans"):
+        tracer.spans("f@h#0", "recv")
+
+
+def test_utilisation_accounting():
+    tracer = make_tracer()
+    util = tracer.utilisation()["f@h#0"]
+    assert util["span"] == pytest.approx(1.0)
+    assert util["busy"] == pytest.approx(0.2 + 0.1)  # compute + flush
+    assert util["io"] == pytest.approx(0.1)
+    assert util["blocked"] == pytest.approx(0.2)
+    assert util["idle"] == pytest.approx(1.0 - 0.3 - 0.1 - 0.2)
+
+
+def test_ack_latencies_and_histogram():
+    tracer = Tracer()
+    for value in (0.001, 0.002, 0.004, 0.008):
+        tracer.record(0.0, "p@h#0", "ack", f"{value}")
+    tracer.record(0.0, "p@h#0", "ack", "not-a-number")  # skipped, not fatal
+    latencies = tracer.ack_latencies()
+    assert latencies == [0.001, 0.002, 0.004, 0.008]
+    histogram = tracer.ack_latency_histogram(bins=7)
+    assert sum(count for _lo, _hi, count in histogram) == 4
+    assert histogram[0][0] == pytest.approx(0.001)
+    assert histogram[-1][1] == pytest.approx(0.008)
+    assert Tracer().ack_latency_histogram() == []
+
+
+def test_queue_depth_stats():
+    tracer = make_tracer()
+    stats = tracer.queue_depth_stats()["f@h"]
+    assert stats["samples"] == 2
+    assert stats["min"] == 1.0
+    assert stats["max"] == 3.0
+    assert stats["mean"] == pytest.approx(2.0)
+
+
+def test_dropped_surfaced_everywhere():
+    tracer = Tracer(limit=2)
+    for i in range(5):
+        tracer.record(float(i), "c", "recv")
+    tracer.sample_queue(0.0, "q", 1)  # also counted against the limit
+    assert len(tracer.events) == 2
+    assert tracer.dropped == 4
+    assert tracer.summary()["dropped"] == 4
+    assert "TRUNCATED" in tracer.timeline()
+    assert "4" in tracer.report()
+    assert "dropped" in tracer.report()
+
+
+def test_empty_timeline_mentions_drops():
+    tracer = Tracer(limit=1)
+    tracer.sample_queue(0.0, "q", 1)
+    tracer.record(0.0, "c", "recv")
+    assert "dropped" in tracer.timeline()
+
+
+def test_timeline_paints_marks():
+    tracer = make_tracer()
+    text = tracer.timeline(width=32)
+    assert "f@h#0" in text
+    assert "#" in text  # compute
+    assert "." in text  # blocked
+    assert "TRUNCATED" not in text
+
+
+def test_report_sections():
+    report = make_tracer().report(width=32)
+    assert "per-copy utilisation" in report
+    assert "ack latency" in report
+    assert "queue depth" in report
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = make_tracer()
+    tracer.dropped = 3  # pretend truncation; meta must carry it
+    path = tmp_path / "trace.jsonl"
+    tracer.to_jsonl(str(path))
+    loaded = Tracer.from_jsonl(str(path))
+    assert loaded.events == tracer.events
+    assert loaded.queue_samples == tracer.queue_samples
+    assert loaded.dropped == 3
+    assert loaded.clock == "sim"
+    assert loaded.limit == tracer.limit
+    # The loaded trace renders the same timeline.
+    assert loaded.timeline(width=24) == tracer.timeline(width=24)
+
+
+def test_jsonl_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "event", "t": 0.0, "copy": "c", "kind": "recv"}\nnot json\n')
+    with pytest.raises(ValueError, match="line 2"):
+        Tracer.from_jsonl(str(path))
+
+
+def test_jsonl_skips_unknown_record_types(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text(
+        '{"type": "meta", "version": 99, "clock": "sim", "dropped": 0}\n'
+        '{"type": "hologram", "t": 0.0}\n'
+        '{"type": "event", "t": 1.0, "copy": "c", "kind": "done", "detail": ""}\n'
+    )
+    loaded = Tracer.from_jsonl(str(path))
+    assert loaded.events == [TraceEvent(1.0, "c", "done", "")]
+
+
+def test_record_is_thread_safe():
+    tracer = Tracer()
+    errors = []
+
+    def spam(tid):
+        try:
+            for i in range(500):
+                tracer.record(float(i), f"copy{tid}", "recv")
+                tracer.sample_queue(float(i), f"q{tid}", i % 5)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=spam, args=(t,)) for t in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(tracer.events) + len(tracer.queue_samples) == 8 * 1000
+    assert tracer.dropped == 0
+
+
+def test_limit_validation():
+    with pytest.raises(ValueError):
+        Tracer(limit=0)
+
+
+def test_queue_sample_dataclass_round_values():
+    sample = QueueSample(1.0, "q", 4)
+    assert sample.depth == 4
+
+
+def test_timeline_rejects_degenerate_width():
+    tracer = make_tracer()
+    for width in (0, -3):
+        with pytest.raises(ValueError, match="width"):
+            tracer.timeline(width=width)
+    assert "|" in tracer.timeline(width=1)  # minimum width still renders

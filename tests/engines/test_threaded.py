@@ -201,3 +201,30 @@ def test_run_cycles_equivalence_with_run():
     assert metrics_cycle.stream_totals("src->mid") == metrics_single.stream_totals(
         "src->mid"
     )
+
+
+def test_finished_at_recorded_per_copy():
+    # Regression: finished_at used to stay 0.0 on threaded runs.
+    metrics = build(count=20, mid_copies=2).run()
+    for copy in metrics.copies:
+        assert copy.finished_at > 0.0
+        assert copy.finished_at <= metrics.makespan + 1e-6
+
+
+def test_ack_bytes_match_ack_messages():
+    # Regression: ack_messages was counted but ack_bytes never accrued.
+    metrics = build(count=30, mid_copies=2, policy="DD").run()
+    assert metrics.ack_messages > 0
+    assert metrics.ack_bytes == metrics.ack_messages * metrics.ack_nbytes
+
+
+def test_run_metrics_validate_passes():
+    engine = build(count=25, mid_copies=3, policy="DD")
+    engine.run().validate(engine.graph)
+
+
+def test_run_cycles_validate_and_finish_times():
+    engine = build(count=10, mid_copies=2, policy="DD")
+    for metrics in engine.run_cycles([None, None, None]):
+        metrics.validate(engine.graph)
+        assert all(c.finished_at > 0.0 for c in metrics.copies)

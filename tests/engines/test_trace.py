@@ -41,7 +41,7 @@ def traced_run():
 def test_trace_records_all_kinds():
     tracer = traced_run()
     counts = tracer.counts()
-    assert counts["io"] == 5
+    assert counts["io"] == 2 * 5  # start+end per disk read
     assert counts["recv"] == 5
     assert counts["send"] == 5
     assert counts["done"] == 2

@@ -110,3 +110,59 @@ def test_simulate_trace_timeline(capsys):
     out = capsys.readouterr().out
     assert "trace" in out
     assert "|" in out  # the timeline strips
+
+
+def test_simulate_trace_out_and_trace_subcommand(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    code = main(
+        ["simulate", "--scale", "0.01", "--rogue", "1", "--blue", "1",
+         "--policy", "DD", "--image", "512", "--trace-out", str(path)]
+    )
+    assert code == 0
+    assert "events ->" in capsys.readouterr().out
+    assert path.exists()
+
+    code = main(["trace", str(path), "--width", "40"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "clock: sim" in out
+    assert "per-copy utilisation" in out
+    assert "|" in out  # the timeline strips
+
+
+def test_render_trace_out_round_trips(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    code = main(
+        [
+            "render",
+            "--grid", "13",
+            "--image", "32",
+            "--chunks", "8",
+            "--files", "4",
+            "--out", str(tmp_path / "img.ppm"),
+            "--trace-out", str(path),
+        ]
+    )
+    assert code == 0
+    capsys.readouterr()
+    assert main(["trace", str(path)]) == 0
+    assert "clock: wall" in capsys.readouterr().out
+
+
+def test_trace_missing_file(tmp_path, capsys):
+    assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+    assert "cannot read trace" in capsys.readouterr().err
+
+
+def test_trace_corrupt_file(tmp_path, capsys):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("this is not jsonl\n")
+    assert main(["trace", str(path)]) == 2
+    assert "malformed trace" in capsys.readouterr().err
+
+
+def test_trace_rejects_bad_width(tmp_path):
+    path = tmp_path / "t.jsonl"
+    path.write_text('{"type": "meta", "version": 1, "clock": "sim", "dropped": 0}\n')
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["trace", str(path), "--width", "0"])
