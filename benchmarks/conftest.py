@@ -4,9 +4,21 @@ Each bench regenerates one of the paper's tables/figures through the full
 simulation stack and reports the wall time of doing so.  Experiments are
 deterministic, so a single round is measured; the regenerated table itself
 is attached to ``benchmark.extra_info`` for inspection in the JSON output.
+
+``test_pipeline_engines.py`` additionally records real-pipeline throughput
+(threaded vs process engine) into ``BENCH_pipeline.json`` at the repo root
+via the :func:`pipeline_report` fixture, so the perf trajectory of the real
+engines is tracked across PRs.  The file is a build artifact (gitignored).
 """
 
+import json
+import os
+import time
+from pathlib import Path
+
 import pytest
+
+BENCH_PIPELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
 
 
 @pytest.fixture
@@ -22,3 +34,37 @@ def regenerate(benchmark):
         return result
 
     return _run
+
+
+@pytest.fixture(scope="session")
+def pipeline_report():
+    """Collect per-engine pipeline measurements; write BENCH_pipeline.json.
+
+    Tests store one record per engine under ``report["engines"][name]``
+    (wall seconds, triangles/sec, pixels/sec, plus scene facts).  At session
+    end the collected records — and the process/threaded speedup when both
+    ran — are serialised to the repo root.  Non-JSON extras (e.g. rendered
+    images kept for parity assertions) go under keys starting with ``_``
+    and are stripped before writing.
+    """
+    report = {"engines": {}}
+    yield report
+    if not report["engines"]:
+        return
+    engines = {
+        name: {k: v for k, v in rec.items() if not k.startswith("_")}
+        for name, rec in report["engines"].items()
+    }
+    payload = {
+        "benchmark": "pipeline_engines",
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cpu_count": os.cpu_count(),
+        "engines": engines,
+    }
+    threaded = engines.get("threaded")
+    process = engines.get("process")
+    if threaded and process:
+        payload["speedup_process_vs_threaded"] = round(
+            threaded["wall_s"] / process["wall_s"], 3
+        )
+    BENCH_PIPELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,98 @@
+"""Real-pipeline throughput: threaded vs process engine on one fixed scene.
+
+A fixed extract→raster→merge isosurface scene (R-E-Ra-M, 4 Extract copies,
+Demand-Driven writers) runs once per engine under the benchmark timer.  Both
+runs must produce bit-identical images; the measured wall time, triangles/sec
+and pixels/sec land in ``BENCH_pipeline.json`` via the ``pipeline_report``
+fixture.  On machines with >= 4 cores the process engine must beat the
+threaded engine (which serialises all NumPy work behind the GIL) by >= 2x.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.data import HostDisks, ParSSimDataset, StorageMap
+from repro.engines import ProcessEngine, ThreadedEngine
+from repro.viz import IsosurfaceApp
+from repro.viz.profile import DatasetProfile
+
+ENGINES = {"threaded": ThreadedEngine, "process": ProcessEngine}
+WIDTH = HEIGHT = 128
+EXTRACT_COPIES = 4
+ISOVALUE = 0.35
+
+
+@pytest.fixture(scope="module")
+def scene():
+    dataset = ParSSimDataset((33, 33, 33), timesteps=1, species=1, seed=7)
+    profile = DatasetProfile.measured(
+        "bench", dataset, nchunks=16, nfiles=8, isovalue=ISOVALUE
+    )
+    return dataset, profile
+
+
+def build(scene):
+    dataset, profile = scene
+    storage = StorageMap.balanced(profile.files, [HostDisks("h0")])
+    app = IsosurfaceApp(
+        profile,
+        storage,
+        width=WIDTH,
+        height=HEIGHT,
+        algorithm="zbuffer",
+        dataset=dataset,
+        isovalue=ISOVALUE,
+    )
+    graph = app.graph("R-E-Ra-M")
+    placement = app.placement(
+        "R-E-Ra-M", compute_hosts=["h0"], copies_per_host=EXTRACT_COPIES
+    )
+    return graph, placement, profile
+
+
+@pytest.mark.parametrize("engine_name", list(ENGINES))
+def test_pipeline_engine_throughput(
+    benchmark, pipeline_report, scene, engine_name
+):
+    graph, placement, profile = build(scene)
+    engine_cls = ENGINES[engine_name]
+
+    def run():
+        t0 = time.perf_counter()
+        metrics = engine_cls(graph, placement, policy="DD").run()
+        return metrics, time.perf_counter() - t0
+
+    metrics, wall = benchmark.pedantic(run, rounds=1, iterations=1)
+    metrics.validate(graph)
+    triangles = profile.total_triangles(0)
+    pixels = WIDTH * HEIGHT
+    benchmark.extra_info["triangles"] = triangles
+    pipeline_report["engines"][engine_name] = {
+        "wall_s": round(wall, 4),
+        "triangles": triangles,
+        "triangles_per_s": round(triangles / wall, 1),
+        "pixels_per_s": round(pixels / wall, 1),
+        "extract_copies": EXTRACT_COPIES,
+        "image": f"{WIDTH}x{HEIGHT}",
+        "policy": "DD",
+        "_image": metrics.result.image,
+    }
+
+
+def test_engines_bit_identical_and_process_speedup(pipeline_report):
+    engines = pipeline_report["engines"]
+    if set(engines) != set(ENGINES):
+        pytest.skip("both engine benchmarks must run first")
+    np.testing.assert_array_equal(
+        engines["threaded"]["_image"], engines["process"]["_image"]
+    )
+    assert engines["threaded"]["_image"].max() > 0
+    speedup = engines["threaded"]["wall_s"] / engines["process"]["wall_s"]
+    if (os.cpu_count() or 1) >= 4:
+        assert speedup >= 2.0, (
+            f"process engine only {speedup:.2f}x threaded on "
+            f"{os.cpu_count()} cores"
+        )

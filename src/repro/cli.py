@@ -5,11 +5,14 @@ Four subcommands::
     python -m repro.cli experiments [NAME ...] [--scale S]
         Regenerate the paper's tables/figures (default: all).
 
-    python -m repro.cli render [--grid N] [--image W] [--config C]
-                               [--algorithm A] [--copies K] [--policy P]
-                               [--out FILE.ppm] [--trace] [--trace-out F]
-        Render a real isosurface through the threaded pipeline and write a
-        PPM image.
+    python -m repro.cli render [--engine threaded|process] [--grid N]
+                               [--image W] [--config C] [--algorithm A]
+                               [--copies K] [--policy P] [--out FILE.ppm]
+                               [--trace] [--trace-out F]
+        Render a real isosurface through the real pipeline (threads, or one
+        process per copy for actual parallelism) and write a PPM image.
+        The simulated engine lives under ``simulate`` — it runs cost
+        models, not real filters, so it cannot produce an image.
 
     python -m repro.cli simulate [--dataset {1.5gb,25gb}] [--scale S]
                                  [--rogue N] [--blue N] [--bg-jobs J]
@@ -75,9 +78,11 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 def _cmd_render(args: argparse.Namespace) -> int:
     from repro.data import HostDisks, ParSSimDataset, StorageMap
-    from repro.engines import ThreadedEngine
+    from repro.engines import ProcessEngine, ThreadedEngine
     from repro.viz import IsosurfaceApp
     from repro.viz.profile import DatasetProfile
+
+    engine_cls = ProcessEngine if args.engine == "process" else ThreadedEngine
 
     dataset = ParSSimDataset(
         (args.grid, args.grid, args.grid), timesteps=max(args.timestep + 1, 1),
@@ -101,7 +106,7 @@ def _cmd_render(args: argparse.Namespace) -> int:
     graph = app.graph(args.config)
     placement = app.placement(args.config, copies_per_host=args.copies)
     tracer = _make_tracer(args)
-    metrics = ThreadedEngine(
+    metrics = engine_cls(
         graph, placement, policy=args.policy, tracer=tracer
     ).run()
     metrics.validate(graph)
@@ -240,6 +245,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_render = sub.add_parser("render", help="render a real isosurface")
+    p_render.add_argument("--engine", default="threaded",
+                          choices=["threaded", "process"],
+                          help="threads in-process, or one OS process per "
+                               "copy (real multicore parallelism)")
     p_render.add_argument("--grid", type=int, default=33, help="grid points per axis")
     p_render.add_argument("--image", type=int, default=256, help="image size (pixels)")
     p_render.add_argument("--config", default="RE-Ra-M",

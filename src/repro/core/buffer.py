@@ -3,16 +3,36 @@
 All stream traffic is fixed-size buffers (paper Section 2).  A
 :class:`DataBuffer` carries an explicit byte count (used by the simulated
 engine for network/disk accounting) and an optional payload (real data, used
-by the threaded engine and by trace-driven simulation).  ``tags`` is an open
-dictionary for application metadata (chunk id, timestep, scanline range...).
+by the threaded/process engines and by trace-driven simulation).  ``tags`` is
+an open dictionary for application metadata (chunk id, timestep, scanline
+range...).
+
+:class:`BufferCodec` serialises buffers for transport between transparent
+copies that do not share an address space.  Large NumPy arrays anywhere in
+the payload travel through ``multiprocessing.shared_memory`` segments (one
+memcpy in, zero-copy attach out) while the remaining object structure rides
+a small pickle header — the process engine's queues carry only the header
+plus segment names.  The threaded engine accepts the same codec (mostly for
+testing) so both real engines share one wire format.
 """
 
 from __future__ import annotations
 
+import io
+import os
+import pickle
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["DataBuffer", "chunk_bytes"]
+import numpy as np
+
+__all__ = [
+    "DataBuffer",
+    "chunk_bytes",
+    "BufferCodec",
+    "EncodedBuffer",
+    "PayloadLease",
+]
 
 
 @dataclass
@@ -42,6 +62,180 @@ class DataBuffer:
         merged = dict(self.tags)
         merged.update(tags)
         return DataBuffer(self.nbytes, self.payload, merged)
+
+
+@dataclass(frozen=True)
+class EncodedBuffer:
+    """The wire form of one :class:`DataBuffer` (cheap to pickle).
+
+    ``header`` is a pickle of the buffer with every exported array replaced
+    by a persistent-id reference; ``segments`` describes the shared-memory
+    segment backing each reference as ``(name, shape, dtype_str)``.
+    """
+
+    header: bytes
+    segments: tuple[tuple[str, tuple[int, ...], str], ...]
+    nbytes: int  # wire size of the original buffer (accounting convenience)
+
+    @property
+    def shared_bytes(self) -> int:
+        """Payload bytes carried in shared memory rather than the header."""
+        return sum(
+            int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+            for _name, shape, dtype in self.segments
+        )
+
+
+class PayloadLease:
+    """Ownership of the shared-memory segments behind one decoded buffer.
+
+    The decoded payload's arrays are *views into shared memory*; they stay
+    valid until :meth:`release` is called (the engine releases after the
+    consuming filter's ``handle`` returns, mirroring DataCutter's recycling
+    of stream buffers).  A filter that must retain payload data beyond the
+    callback copies it.  ``release`` is idempotent.
+    """
+
+    def __init__(self, shms: list[Any]):
+        self._shms = shms
+
+    def release(self) -> None:
+        """Unlink the backing segments and drop this lease's references.
+
+        The OS frees the memory once the last mapping closes — arrays still
+        referencing a segment keep it mapped until they are garbage
+        collected, so release never invalidates live views mid-use.
+        """
+        shms, self._shms = self._shms, []
+        for shm in shms:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            # Detach the mapping from the SharedMemory wrapper before the
+            # wrapper is garbage collected: its __del__ runs close(), which
+            # unmaps the region even while NumPy views still point into it
+            # (NumPy keeps the mmap alive via .base but holds no buffer
+            # export that would block the unmap — readers would fault).
+            # With the wrapper's references dropped, plain refcounting
+            # makes the region live exactly as long as the last view.
+            shm._buf = None
+            shm._mmap = None
+            fd = getattr(shm, "_fd", -1)
+            if fd >= 0:
+                os.close(fd)
+                shm._fd = -1
+
+
+class _SegmentPickler(pickle.Pickler):
+    """Pickler that spills large contiguous arrays to shared memory."""
+
+    def __init__(self, fh: io.BytesIO, threshold: int):
+        super().__init__(fh, protocol=pickle.HIGHEST_PROTOCOL)
+        self.threshold = threshold
+        self.segments: list[Any] = []  # SharedMemory objects
+        self.descriptors: list[tuple[str, tuple[int, ...], str]] = []
+
+    def persistent_id(self, obj: Any):
+        if (
+            isinstance(obj, np.ndarray)
+            and obj.nbytes >= self.threshold
+            and obj.dtype != object
+        ):
+            from multiprocessing import shared_memory
+
+            arr = np.ascontiguousarray(obj)
+            seg = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+            np.ndarray(arr.shape, arr.dtype, buffer=seg.buf)[...] = arr
+            self.segments.append(seg)
+            self.descriptors.append((seg.name, arr.shape, arr.dtype.str))
+            return len(self.descriptors) - 1
+        return None
+
+
+class _SegmentUnpickler(pickle.Unpickler):
+    """Unpickler that resolves persistent ids to shared-memory arrays."""
+
+    def __init__(self, fh: io.BytesIO, encoded: "EncodedBuffer"):
+        super().__init__(fh)
+        self.encoded = encoded
+        self.shms: list[Any] = []
+
+    def persistent_load(self, pid: Any) -> np.ndarray:
+        from multiprocessing import shared_memory
+
+        name, shape, dtype = self.encoded.segments[pid]
+        shm = shared_memory.SharedMemory(name=name)
+        self.shms.append(shm)
+        return np.ndarray(shape, np.dtype(dtype), buffer=shm.buf)
+
+
+class BufferCodec:
+    """Serialise :class:`DataBuffer` objects for cross-process streams.
+
+    Parameters
+    ----------
+    shm_threshold:
+        Arrays of at least this many bytes go to shared memory; smaller
+        ones (and object-dtype arrays) pickle inline in the header.  The
+        default (64 KiB) keeps headers under a pipe write while moving
+        every scalar block / triangle array / z-buffer slab out of band.
+    use_shared_memory:
+        ``False`` pickles everything inline — useful on platforms without
+        POSIX shared memory or for debugging; the wire format is unchanged
+        (``segments`` is simply empty).
+
+    The codec is stateless and fork-safe: it may be shared by every copy of
+    a run.  ``encode`` performs exactly one copy of each large array (into
+    its segment); ``decode`` attaches the segments zero-copy and returns a
+    :class:`PayloadLease` governing their lifetime.
+    """
+
+    def __init__(self, shm_threshold: int = 64 * 1024, use_shared_memory: bool = True):
+        if shm_threshold < 1:
+            raise ValueError(f"shm_threshold must be >= 1, got {shm_threshold}")
+        self.shm_threshold = shm_threshold
+        self.use_shared_memory = use_shared_memory
+
+    def encode(self, buffer: DataBuffer) -> EncodedBuffer:
+        """Encode one buffer; creates the backing shared-memory segments."""
+        fh = io.BytesIO()
+        if self.use_shared_memory:
+            pickler = _SegmentPickler(fh, self.shm_threshold)
+            pickler.dump(buffer)
+            descriptors = tuple(pickler.descriptors)
+            # Close our mapping now; the segments stay alive (named) until
+            # the consumer unlinks them via its PayloadLease.
+            for seg in pickler.segments:
+                seg.close()
+        else:
+            pickle.dump(buffer, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            descriptors = ()
+        return EncodedBuffer(fh.getvalue(), descriptors, buffer.nbytes)
+
+    def decode(self, encoded: EncodedBuffer) -> tuple[DataBuffer, PayloadLease]:
+        """Decode one buffer zero-copy; the lease controls segment lifetime."""
+        fh = io.BytesIO(encoded.header)
+        unpickler = _SegmentUnpickler(fh, encoded)
+        buffer: DataBuffer = unpickler.load()
+        return buffer, PayloadLease(unpickler.shms)
+
+    @staticmethod
+    def release_encoded(encoded: EncodedBuffer) -> None:
+        """Free an encoded buffer's segments without decoding it.
+
+        Error paths (a consumer draining its queue after a failure) call
+        this so discarded buffers never leak shared memory.
+        """
+        from multiprocessing import shared_memory
+
+        for name, _shape, _dtype in encoded.segments:
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                continue
+            shm.unlink()
+            shm.close()
 
 
 def chunk_bytes(total_bytes: int, buffer_size: int) -> list[int]:

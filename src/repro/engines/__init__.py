@@ -3,11 +3,21 @@
 - :class:`~repro.engines.simulated.SimulatedEngine` runs cost models over
   the DES cluster substrate (all scheduling experiments);
 - :class:`~repro.engines.threaded.ThreadedEngine` runs real filters with
-  threads in this process (correctness runs, examples).
+  threads in this process (correctness runs, examples);
+- :class:`~repro.engines.process.ProcessEngine` runs real filters with one
+  process per copy (actual parallelism on multicore hosts).
 """
 
 from repro.engines.base import Engine
+from repro.engines.process import ProcessEngine
 from repro.engines.simulated import PendingRun, SimulatedEngine, run_concurrent
 from repro.engines.threaded import ThreadedEngine
 
-__all__ = ["Engine", "PendingRun", "SimulatedEngine", "ThreadedEngine", "run_concurrent"]
+__all__ = [
+    "Engine",
+    "PendingRun",
+    "ProcessEngine",
+    "SimulatedEngine",
+    "ThreadedEngine",
+    "run_concurrent",
+]

@@ -5,8 +5,9 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 
 from repro.core.instrument import RunMetrics
+from repro.errors import EngineError
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "validate_run_setup"]
 
 
 class Engine(ABC):
@@ -14,10 +15,35 @@ class Engine(ABC):
 
     Implementations: :class:`repro.engines.simulated.SimulatedEngine` (runs
     cost models over the DES cluster substrate, used for every scheduling
-    experiment) and :class:`repro.engines.threaded.ThreadedEngine` (runs real
-    filters locally with threads, used for correctness and the examples).
+    experiment), :class:`repro.engines.threaded.ThreadedEngine` (real
+    filters, one thread per copy — correctness baseline) and
+    :class:`repro.engines.process.ProcessEngine` (real filters, one process
+    per copy — actual parallelism on multicore hosts).
     """
 
     @abstractmethod
     def run(self) -> RunMetrics:
         """Execute one unit of work and return its measurements."""
+
+
+def validate_run_setup(graph, placement, queue_capacity, engine_name):
+    """Shared constructor checks of the real (threaded/process) engines.
+
+    Validates the graph, checks the placement against the hosts it names,
+    requires a real-filter factory on every filter and a sane queue bound.
+    Raises :class:`~repro.errors.EngineError` / the graph and placement
+    error types on violation.
+    """
+    graph.validate()
+    hosts = {
+        cs.host for name in graph.filters for cs in placement.copysets(name)
+    }
+    placement.validate(graph, hosts)
+    for spec in graph.filters.values():
+        if spec.factory is None:
+            raise EngineError(
+                f"filter {spec.name!r} has no factory; the {engine_name} "
+                f"engine needs one per filter"
+            )
+    if queue_capacity < 1:
+        raise EngineError(f"queue_capacity must be >= 1, got {queue_capacity}")

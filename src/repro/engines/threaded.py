@@ -21,14 +21,14 @@ import time
 from collections.abc import Callable
 from typing import Any
 
-from repro.core.buffer import DataBuffer
+from repro.core.buffer import BufferCodec, DataBuffer
 from repro.core.filter import Filter, FilterContext
 from repro.core.graph import FilterGraph
 from repro.core.instrument import DEFAULT_ACK_BYTES, RunMetrics
 from repro.core.placement import Placement
 from repro.core.policies import PolicyFactory, Target, make_policy_factory
 from repro.core.tracing import Tracer
-from repro.engines.base import Engine
+from repro.engines.base import Engine, validate_run_setup
 from repro.errors import EngineError
 
 __all__ = ["ThreadedEngine"]
@@ -120,10 +120,11 @@ class _Writer:
 
 
 class _Envelope:
-    __slots__ = ("buffer", "stream", "writer", "target", "sent_at")
+    __slots__ = ("buffer", "encoded", "stream", "writer", "target", "sent_at")
 
     def __init__(self, buffer: DataBuffer, stream: str):
         self.buffer = buffer
+        self.encoded = None  # EncodedBuffer when the engine runs a codec
         self.stream = stream
         self.writer: _Writer | None = None
         self.target: Target | None = None
@@ -144,6 +145,13 @@ class ThreadedEngine(Engine):
     ``tracer`` is an optional :class:`repro.core.tracing.Tracer` that
     records the unified event schema (recv / compute / send / ack / flush /
     done / blocked) with wall-clock timestamps relative to run start.
+
+    ``codec`` optionally routes every stream buffer through a
+    :class:`repro.core.buffer.BufferCodec` encode/decode round trip — the
+    same wire format the process engine uses.  Threads share an address
+    space so this is pure overhead in production, but it proves a pipeline
+    is codec-clean (all payloads serialisable) before moving it to
+    :class:`repro.engines.process.ProcessEngine`.
     """
 
     def __init__(
@@ -155,27 +163,15 @@ class ThreadedEngine(Engine):
         queue_capacity: int = 8,
         ack_nbytes: int = DEFAULT_ACK_BYTES,
         tracer: "Tracer | None" = None,
+        codec: "BufferCodec | None" = None,
     ):
-        graph.validate()
-        hosts = {
-            cs.host
-            for name in graph.filters
-            for cs in placement.copysets(name)
-        }
-        placement.validate(graph, hosts)
-        for spec in graph.filters.values():
-            if spec.factory is None:
-                raise EngineError(
-                    f"filter {spec.name!r} has no factory; the threaded "
-                    f"engine needs one per filter"
-                )
-        if queue_capacity < 1:
-            raise EngineError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        validate_run_setup(graph, placement, queue_capacity, "threaded")
         self.graph = graph
         self.placement = placement
         self.queue_capacity = queue_capacity
         self.ack_nbytes = ack_nbytes
         self.tracer = tracer
+        self.codec = codec
         self._default_factory = self._resolve(policy)
         self._stream_factories = {
             name: self._resolve(p) for name, p in (policy_overrides or {}).items()
@@ -291,7 +287,11 @@ class ThreadedEngine(Engine):
                         stats = metrics.new_copy(spec.name, host, copy_index)
 
                     def write_fn(stream, buffer, _w=None):
-                        target = writers[stream].send(_Envelope(buffer, stream))
+                        envelope = _Envelope(buffer, stream)
+                        if self.codec is not None:
+                            envelope.encoded = self.codec.encode(buffer)
+                            envelope.buffer = None
+                        target = writers[stream].send(envelope)
                         stats.buffers_out += 1
                         with results_lock:
                             metrics.streams[stream].record(
@@ -334,11 +334,17 @@ class ThreadedEngine(Engine):
                                     metrics.ack_messages += 1
                                     metrics.ack_bytes += self.ack_nbytes
                                 envelope.writer.deliver_ack(envelope)
+                            if envelope.encoded is not None:
+                                payload, lease = self.codec.decode(envelope.encoded)
+                            else:
+                                payload, lease = envelope.buffer, None
                             t0 = time.perf_counter()
                             if tracer:
                                 tracer.record(clock(), label, "compute", "start")
-                            instance.handle(ctx, envelope.buffer)
+                            instance.handle(ctx, payload)
                             busy += time.perf_counter() - t0
+                            if lease is not None:
+                                lease.release()
                             if tracer:
                                 tracer.record(clock(), label, "compute", "end")
                     t0 = time.perf_counter()
@@ -382,6 +388,8 @@ class ThreadedEngine(Engine):
                             # upstream keep moving.
                             if item.writer is not None:
                                 item.writer.deliver_ack(item)
+                            if item.encoded is not None:
+                                BufferCodec.release_encoded(item.encoded)
                 finally:
                     if not announced:
                         for st in spec.outputs:

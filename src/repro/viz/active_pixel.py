@@ -28,7 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.viz.raster import ZBuffer, triangle_fragments
+from repro.viz.raster import ZBuffer, rasterize_triangles
 
 __all__ = ["WPABuffer", "ActivePixelRaster", "ActivePixelMerger", "WPA_ENTRY_BYTES"]
 
@@ -97,12 +97,21 @@ class ActivePixelRaster:
         triangles = np.asarray(triangles)
         if triangles.size and len(colors) != len(triangles):
             raise ConfigurationError("one colour per triangle required")
-        for tri, rgb in zip(triangles, colors):
-            pixels, depth = triangle_fragments(tri, self.width, self.height)
-            if pixels.size == 0:
-                continue
+        if triangles.size:
+            # Fragments come from the batched kernel (identical values and
+            # order to the per-triangle reference); WPA insertion stays per
+            # triangle because entry order and colour assignment depend on
+            # the triangle sequence.
+            pixels, depth, counts = rasterize_triangles(
+                triangles, self.width, self.height
+            )
             self.fragments_tested += pixels.size
-            self._add(pixels, depth, rgb)
+            bounds = np.cumsum(counts)[:-1]
+            for pix, dep, rgb in zip(
+                np.split(pixels, bounds), np.split(depth, bounds), colors
+            ):
+                if pix.size:
+                    self._add(pix, dep, rgb)
         return self._emit()
 
     # -- internals -----------------------------------------------------------

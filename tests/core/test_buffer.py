@@ -1,8 +1,9 @@
-"""Unit tests for DataBuffer and buffer chunking."""
+"""Unit tests for DataBuffer, buffer chunking, and the shared-memory codec."""
 
+import numpy as np
 import pytest
 
-from repro.core.buffer import DataBuffer, chunk_bytes
+from repro.core.buffer import BufferCodec, DataBuffer, chunk_bytes
 
 
 def test_buffer_basic():
@@ -51,3 +52,107 @@ def test_chunk_bytes_validation():
 def test_chunk_bytes_conserves_total():
     for total in (0, 1, 99, 100, 101, 12345):
         assert sum(chunk_bytes(total, 100)) == total
+
+
+# -- BufferCodec ---------------------------------------------------------------
+
+
+def round_trip(codec, buffer):
+    encoded = codec.encode(buffer)
+    decoded, lease = codec.decode(encoded)
+    return encoded, decoded, lease
+
+
+def test_codec_large_arrays_go_to_shared_memory():
+    arr = np.arange(30_000, dtype=np.float64)
+    codec = BufferCodec(shm_threshold=1024)
+    encoded, decoded, lease = round_trip(
+        codec, DataBuffer(arr.nbytes, payload=arr, tags={"chunk": 3})
+    )
+    assert len(encoded.segments) == 1
+    assert encoded.shared_bytes == arr.nbytes
+    assert len(encoded.header) < 4096  # header stays small
+    assert decoded.nbytes == arr.nbytes
+    assert decoded.tags == {"chunk": 3}
+    np.testing.assert_array_equal(decoded.payload, arr)
+    lease.release()
+
+
+def test_codec_small_arrays_stay_inline():
+    arr = np.arange(16, dtype=np.float64)
+    codec = BufferCodec(shm_threshold=1024)
+    encoded, decoded, lease = round_trip(codec, DataBuffer(128, payload=arr))
+    assert encoded.segments == ()
+    np.testing.assert_array_equal(decoded.payload, arr)
+    lease.release()
+
+
+class NestedPayload:
+    """Pickle-friendly payload wrapper (module-level for the codec tests)."""
+
+    def __init__(self, tris, label):
+        self.tris = tris
+        self.label = label
+
+
+def test_codec_nested_payload_objects():
+    tris = np.random.default_rng(1).random((500, 3, 3)).astype(np.float32)
+    codec = BufferCodec(shm_threshold=1024)
+    encoded, decoded, lease = round_trip(
+        codec, DataBuffer(tris.nbytes, payload=NestedPayload(tris, "soup"))
+    )
+    assert len(encoded.segments) == 1  # array found inside the object graph
+    assert decoded.payload.label == "soup"
+    np.testing.assert_array_equal(decoded.payload.tris, tris)
+    lease.release()
+
+
+def test_codec_inline_mode_has_no_segments():
+    arr = np.arange(30_000, dtype=np.float64)
+    codec = BufferCodec(use_shared_memory=False)
+    encoded, decoded, lease = round_trip(codec, DataBuffer(0, payload=arr))
+    assert encoded.segments == ()
+    np.testing.assert_array_equal(decoded.payload, arr)
+    lease.release()  # no-op, still safe
+
+
+def test_codec_lease_release_is_idempotent():
+    arr = np.zeros(20_000)
+    codec = BufferCodec(shm_threshold=1024)
+    _encoded, decoded, lease = round_trip(codec, DataBuffer(0, payload=arr))
+    view = decoded.payload
+    lease.release()
+    lease.release()
+    # The view stays readable until garbage collected (the mapping outlives
+    # the unlink).
+    assert view.sum() == 0.0
+
+
+def test_codec_release_encoded_frees_segments():
+    from multiprocessing import shared_memory
+
+    arr = np.zeros(20_000)
+    codec = BufferCodec(shm_threshold=1024)
+    encoded = codec.encode(DataBuffer(0, payload=arr))
+    name = encoded.segments[0][0]
+    BufferCodec.release_encoded(encoded)
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=name)
+    BufferCodec.release_encoded(encoded)  # idempotent
+
+
+def test_codec_threshold_validation():
+    with pytest.raises(ValueError):
+        BufferCodec(shm_threshold=0)
+
+
+def test_codec_preserves_non_contiguous_and_object_payloads():
+    base = np.arange(40_000, dtype=np.float64).reshape(200, 200)
+    strided = base[::2, ::2]  # non-contiguous view
+    codec = BufferCodec(shm_threshold=1024)
+    _encoded, decoded, lease = round_trip(
+        codec, DataBuffer(0, payload={"view": strided, "meta": [1, "two"]})
+    )
+    np.testing.assert_array_equal(decoded.payload["view"], strided)
+    assert decoded.payload["meta"] == [1, "two"]
+    lease.release()

@@ -1,11 +1,12 @@
-"""Cross-engine metrics parity: both engines keep the same books.
+"""Cross-engine metrics parity: every engine keeps the same books.
 
 One small shared graph (source -> worker x2 -> sink) is run through the
-threaded engine (real filters, wall clock) and the simulated engine (cost
-models, sim clock).  The *shapes* of the resulting ``RunMetrics`` must
-agree: per-copy ``finished_at`` populated everywhere, ``ack_bytes``
+threaded engine (real filters, wall clock), the process engine (real
+filters, one OS process per copy, wall clock) and the simulated engine
+(cost models, sim clock).  The *shapes* of the resulting ``RunMetrics``
+must agree: per-copy ``finished_at`` populated everywhere, ``ack_bytes``
 accounted symmetrically with ``ack_messages``, stream totals identical, and
-``RunMetrics.validate()`` green on both.  Both engines must also emit the
+``RunMetrics.validate()`` green everywhere.  All engines must also emit the
 unified trace schema and the traces must survive a JSONL round trip.
 """
 
@@ -21,7 +22,7 @@ from repro.core import (
     SourceItem,
 )
 from repro.core.tracing import EVENT_KINDS, Tracer
-from repro.engines import SimulatedEngine, ThreadedEngine
+from repro.engines import ProcessEngine, SimulatedEngine, ThreadedEngine
 from repro.sim import Environment, homogeneous_cluster
 
 COUNT = 12
@@ -104,6 +105,14 @@ def run_threaded(policy="DD", tracer=None):
     return graph, metrics
 
 
+def run_process(policy="DD", tracer=None):
+    graph = shared_graph()
+    metrics = ProcessEngine(
+        graph, shared_placement(), policy=policy, tracer=tracer
+    ).run()
+    return graph, metrics
+
+
 def run_simulated(policy="DD", tracer=None):
     graph = shared_graph()
     env = Environment()
@@ -114,7 +123,11 @@ def run_simulated(policy="DD", tracer=None):
     return graph, metrics
 
 
-ENGINES = {"threaded": run_threaded, "simulated": run_simulated}
+ENGINES = {
+    "threaded": run_threaded,
+    "process": run_process,
+    "simulated": run_simulated,
+}
 
 
 @pytest.mark.parametrize("engine", sorted(ENGINES))
@@ -124,8 +137,8 @@ def test_finished_at_populated_on_every_copy(engine):
     assert len(metrics.copies) == 4
     for copy in metrics.copies:
         assert copy.finished_at > 0.0, (engine, copy)
-        if engine == "threaded":
-            # Threaded finish times are run-relative: within the makespan.
+        if engine in ("threaded", "process"):
+            # Real-engine finish times are run-relative: within the makespan.
             assert copy.finished_at <= metrics.makespan + 1e-6
 
 
@@ -148,10 +161,13 @@ def test_ack_bytes_accounted_with_messages(engine):
 
 def test_ack_parity_across_engines():
     _g1, threaded = run_threaded("DD")
-    _g2, simulated = run_simulated("DD")
-    # Same graph, same buffer count, DD on both: identical ack volume.
+    _g2, process = run_process("DD")
+    _g3, simulated = run_simulated("DD")
+    # Same graph, same buffer count, DD everywhere: identical ack volume.
     assert threaded.ack_messages == simulated.ack_messages
+    assert threaded.ack_messages == process.ack_messages
     assert threaded.ack_bytes == simulated.ack_bytes
+    assert threaded.ack_bytes == process.ack_bytes
 
 
 @pytest.mark.parametrize("engine", sorted(ENGINES))
@@ -163,11 +179,14 @@ def test_stream_totals_and_validate(engine):
 
 
 def test_stream_totals_identical_across_engines():
-    _g1, threaded = run_threaded()
-    _g2, simulated = run_simulated()
-    assert {
-        name: (s.buffers, s.bytes) for name, s in threaded.streams.items()
-    } == {name: (s.buffers, s.bytes) for name, s in simulated.streams.items()}
+    totals = {}
+    for engine, runner in ENGINES.items():
+        _graph, metrics = runner()
+        totals[engine] = {
+            name: (s.buffers, s.bytes) for name, s in metrics.streams.items()
+        }
+    assert totals["threaded"] == totals["simulated"]
+    assert totals["threaded"] == totals["process"]
 
 
 def test_io_time_where_applicable():
@@ -199,7 +218,7 @@ def test_unified_trace_schema(engine):
     assert kinds <= EVENT_KINDS
     # Core lifecycle kinds appear on both engines.
     assert {"recv", "compute", "send", "ack", "flush", "done"} <= kinds
-    assert tracer.clock == ("wall" if engine == "threaded" else "sim")
+    assert tracer.clock == ("sim" if engine == "simulated" else "wall")
     # Every copy traced a done event.
     done = [e for e in tracer.events if e.kind == "done"]
     assert len(done) == len(metrics.copies)
