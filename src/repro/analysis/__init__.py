@@ -1,0 +1,70 @@
+"""Static analysis of filter pipelines and filter code.
+
+Two passes, both reporting structured :class:`Diagnostic` objects with a
+stable rule id, a severity and a fix hint (see
+:mod:`repro.analysis.rules` for the catalogue):
+
+**Pass 1 — pipeline verifier** (:func:`verify_pipeline`): rule-based
+checks over ``(FilterGraph, Placement, writer policies, cluster hosts,
+BufferCodec)`` — dangling/unreachable filters and streams, cycles,
+source/sink arity, copy sets on unknown hosts, degenerate WRR weights,
+demand-driven windows that defeat the bounded queues, phase-synchronised
+(z-buffer) filters behind unsynchronised fan-in, and payload-dtype /
+buffer-size mismatches against the codec.  All three engines run it
+before executing: ERROR diagnostics abort the run, WARNING diagnostics
+become ``analysis`` trace events.
+
+**Pass 2 — filter-code lint** (:func:`lint_file` / :func:`lint_class`):
+stdlib-``ast`` checks over :class:`~repro.core.filter.Filter` subclasses
+— payload mutation after ``ctx.write``, silent filters that never feed
+their consumers, blocking calls in the per-buffer callback, and
+unpicklable state that cannot cross the process engine's fork/pickle
+boundary.  Nothing is imported or executed, so it lints untrusted
+pipeline definitions safely.
+
+Both passes drive the ``repro lint`` CLI and the CI self-check.
+"""
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.analysis.filtercode import (
+    lint_class,
+    lint_file,
+    lint_graph_filters,
+    lint_source,
+)
+from repro.analysis.pipeline import (
+    verify_buffers,
+    verify_flow,
+    verify_graph,
+    verify_pipeline,
+    verify_placement,
+)
+from repro.analysis.report import (
+    format_rule_catalogue,
+    format_text,
+    to_json,
+    to_json_dict,
+)
+from repro.analysis.rules import RULES, Rule, rule_catalogue
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "Rule",
+    "RULES",
+    "rule_catalogue",
+    "verify_graph",
+    "verify_placement",
+    "verify_flow",
+    "verify_buffers",
+    "verify_pipeline",
+    "lint_source",
+    "lint_file",
+    "lint_class",
+    "lint_graph_filters",
+    "format_text",
+    "to_json",
+    "to_json_dict",
+    "format_rule_catalogue",
+]

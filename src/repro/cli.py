@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro.cli experiments [NAME ...] [--scale S]
         Regenerate the paper's tables/figures (default: all).
@@ -24,6 +24,13 @@ Four subcommands::
     python -m repro.cli trace FILE.jsonl [--width N]
         Render the timeline and per-copy utilisation summary of a trace
         exported with ``--trace-out`` (either engine).
+
+    python -m repro.cli lint [PATH ...] [--graph-module MOD[:ATTR]]
+                             [--format text|json] [--process] [--rules]
+        Run the static analysis layer (:mod:`repro.analysis`): AST-lint
+        filter code in the given files (nothing is imported) and/or
+        verify a live graph+placement from an imported module.  Exits 1
+        when any ERROR-level diagnostic fires.
 
 Both engines emit the same trace schema (:mod:`repro.core.tracing`), so
 ``--trace``/``--trace-out`` work identically on ``render`` (threaded,
@@ -207,6 +214,142 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        DiagnosticReport,
+        format_rule_catalogue,
+        format_text,
+        lint_file,
+        lint_graph_filters,
+        to_json,
+        verify_pipeline,
+    )
+
+    if args.rules:
+        print(format_rule_catalogue())
+        return 0
+    if not args.paths and not args.graph_module:
+        print(
+            "nothing to lint: pass FILE/DIR paths and/or --graph-module",
+            file=sys.stderr,
+        )
+        return 2
+
+    report = DiagnosticReport()
+
+    # Pass 2 over files: pure-AST, nothing is imported or executed.
+    files: list = []
+    from pathlib import Path
+
+    for raw in args.paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.exists():
+            files.append(path)
+        else:
+            print(f"no such file: {raw}", file=sys.stderr)
+            return 2
+    for path in files:
+        report.extend(lint_file(path, process_engine=args.process))
+
+    # Pass 1 over a live graph/placement from an imported module.
+    if args.graph_module:
+        try:
+            loaded = _load_graph_objects(args.graph_module)
+        except Exception as exc:  # noqa: BLE001 - user module errors
+            print(
+                f"cannot load --graph-module {args.graph_module!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.core.policies import make_policy_factory
+
+        policy_factory = make_policy_factory(args.policy)
+        for graph, placement, module_file in loaded:
+            report.extend(
+                verify_pipeline(
+                    graph,
+                    placement,
+                    policy_for=(lambda _stream: policy_factory),
+                    queue_capacity=args.queue_capacity,
+                )
+            )
+            report.extend(
+                lint_graph_filters(graph, process_engine=args.process)
+            )
+            if module_file:
+                report.extend(
+                    lint_file(module_file, process_engine=args.process)
+                )
+
+    if args.format == "json":
+        print(to_json(report))
+    else:
+        print(format_text(report))
+    return 1 if report.errors else 0
+
+
+def _load_graph_objects(spec: str) -> list:
+    """Resolve ``module[:attr]`` into ``(graph, placement, file)`` triples.
+
+    ``attr`` may be a :class:`~repro.core.graph.FilterGraph`, a zero-arg
+    callable returning one, or a callable returning a ``(graph,
+    placement)`` tuple.  Without ``attr``, module-level FilterGraph and
+    Placement instances are discovered (a sole Placement is paired with
+    every discovered graph).
+    """
+    import importlib
+    import inspect
+
+    from repro.core.graph import FilterGraph
+    from repro.core.placement import Placement
+
+    module_name, _, attr = spec.partition(":")
+    module = importlib.import_module(module_name)
+    module_file = getattr(module, "__file__", None)
+
+    def as_pair(obj: object) -> tuple[FilterGraph, "Placement | None"]:
+        if isinstance(obj, FilterGraph):
+            return obj, None
+        if (
+            isinstance(obj, tuple)
+            and len(obj) == 2
+            and isinstance(obj[0], FilterGraph)
+        ):
+            placement = obj[1] if isinstance(obj[1], Placement) else None
+            return obj[0], placement
+        raise TypeError(
+            f"expected a FilterGraph or (FilterGraph, Placement), "
+            f"got {type(obj).__name__}"
+        )
+
+    if attr:
+        obj = getattr(module, attr)
+        if callable(obj) and not isinstance(obj, FilterGraph):
+            obj = obj()
+        graph, placement = as_pair(obj)
+        return [(graph, placement, module_file)]
+
+    graphs = [
+        value
+        for _name, value in inspect.getmembers(module)
+        if isinstance(value, FilterGraph)
+    ]
+    placements = [
+        value
+        for _name, value in inspect.getmembers(module)
+        if isinstance(value, Placement)
+    ]
+    if not graphs:
+        raise TypeError(
+            f"module {module_name!r} defines no module-level FilterGraph; "
+            f"name a builder with {module_name}:attr"
+        )
+    shared = placements[0] if len(placements) == 1 else None
+    return [(graph, shared, module_file) for graph in graphs]
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.core.tracing import Tracer
 
@@ -292,6 +435,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--trace-out", default=None, metavar="FILE",
                        help="export the trace as JSONL (see 'repro trace')")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically verify pipeline definitions and lint filter code",
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="Python files/directories to AST-lint (never imported)",
+    )
+    p_lint.add_argument(
+        "--graph-module", default=None, metavar="MOD[:ATTR]",
+        help="import MOD and verify its FilterGraph/Placement objects "
+             "(ATTR may be a graph or a zero-arg builder)",
+    )
+    p_lint.add_argument("--format", default="text", choices=["text", "json"],
+                        help="diagnostic output format")
+    p_lint.add_argument("--process", action="store_true",
+                        help="lint for the process engine (unpicklable "
+                             "filter state becomes an ERROR)")
+    p_lint.add_argument("--policy", default="DD",
+                        choices=["RR", "WRR", "DD", "RATE"],
+                        help="writer policy assumed for flow-control rules")
+    p_lint.add_argument("--queue-capacity", type=int, default=8,
+                        help="queue bound assumed for flow-control rules")
+    p_lint.add_argument("--rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_trace = sub.add_parser(
         "trace", help="render a timeline from an exported JSONL trace"

@@ -19,8 +19,8 @@ from repro.core.negotiate import BufferBounds, declare_bounds, negotiate
 from repro.core.placement import CopySetSpec, Placement
 from repro.core.policies import (
     DemandDriven,
-    RateBased,
     PolicyFactory,
+    RateBased,
     RoundRobin,
     Target,
     WeightedRoundRobin,

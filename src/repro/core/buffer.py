@@ -96,7 +96,7 @@ class PayloadLease:
     callback copies it.  ``release`` is idempotent.
     """
 
-    def __init__(self, shms: list[Any]):
+    def __init__(self, shms: list[Any]) -> None:
         self._shms = shms
 
     def release(self) -> None:
@@ -130,13 +130,13 @@ class PayloadLease:
 class _SegmentPickler(pickle.Pickler):
     """Pickler that spills large contiguous arrays to shared memory."""
 
-    def __init__(self, fh: io.BytesIO, threshold: int):
+    def __init__(self, fh: io.BytesIO, threshold: int) -> None:
         super().__init__(fh, protocol=pickle.HIGHEST_PROTOCOL)
         self.threshold = threshold
         self.segments: list[Any] = []  # SharedMemory objects
         self.descriptors: list[tuple[str, tuple[int, ...], str]] = []
 
-    def persistent_id(self, obj: Any):
+    def persistent_id(self, obj: Any) -> "int | None":
         if (
             isinstance(obj, np.ndarray)
             and obj.nbytes >= self.threshold
@@ -156,7 +156,7 @@ class _SegmentPickler(pickle.Pickler):
 class _SegmentUnpickler(pickle.Unpickler):
     """Unpickler that resolves persistent ids to shared-memory arrays."""
 
-    def __init__(self, fh: io.BytesIO, encoded: "EncodedBuffer"):
+    def __init__(self, fh: io.BytesIO, encoded: "EncodedBuffer") -> None:
         super().__init__(fh)
         self.encoded = encoded
         self.shms: list[Any] = []

@@ -50,7 +50,7 @@ class FilterContext:
         output_streams: list[str],
         write_fn: Any,
         uow: Any = None,
-    ):
+    ) -> None:
         self.filter_name = filter_name
         self.host = host
         self.copy_index = copy_index

@@ -28,7 +28,23 @@ __all__ = ["FilterSpec", "StreamSpec", "FilterGraph"]
 
 @dataclass
 class FilterSpec:
-    """One logical filter in the graph."""
+    """One logical filter in the graph.
+
+    Beyond the factories, a spec may carry *static metadata* the analysis
+    layer (:mod:`repro.analysis`) verifies before any engine runs:
+
+    ``phase_synchronised``
+        The filter accumulates and emits only at the end-of-work phase
+        boundary (z-buffer raster/merge style); the verifier flags such
+        filters behind unsynchronised fan-in (rule ``Z401``).
+    ``input_dtype`` / ``output_dtype``
+        NumPy dtype names of the payload arrays the filter expects /
+        emits; mismatched producer/consumer declarations on one stream
+        are rule ``B501``.
+    ``output_nbytes``
+        Nominal wire size of emitted buffers, checked against the
+        :class:`~repro.core.buffer.BufferCodec` configuration (``B502``).
+    """
 
     name: str
     factory: Callable[[], Any] | None = None
@@ -36,6 +52,10 @@ class FilterSpec:
     is_source: bool = False
     inputs: list["StreamSpec"] = field(default_factory=list)
     outputs: list["StreamSpec"] = field(default_factory=list)
+    phase_synchronised: bool = False
+    input_dtype: str | None = None
+    output_dtype: str | None = None
+    output_nbytes: int | None = None
 
     def __repr__(self) -> str:
         return f"<FilterSpec {self.name}>"
@@ -75,14 +95,29 @@ class FilterGraph:
         factory: Callable[[], Any] | None = None,
         sim_factory: Callable[[], Any] | None = None,
         is_source: bool = False,
+        phase_synchronised: bool = False,
+        input_dtype: str | None = None,
+        output_dtype: str | None = None,
+        output_nbytes: int | None = None,
     ) -> FilterSpec:
-        """Register a logical filter.  Names must be unique."""
+        """Register a logical filter.  Names must be unique.
+
+        The trailing keyword arguments are optional static metadata for
+        the analysis layer (see :class:`FilterSpec`).
+        """
         if not name:
             raise GraphError("filter name must be non-empty")
         if name in self.filters:
             raise GraphError(f"duplicate filter {name!r}")
         spec = FilterSpec(
-            name=name, factory=factory, sim_factory=sim_factory, is_source=is_source
+            name=name,
+            factory=factory,
+            sim_factory=sim_factory,
+            is_source=is_source,
+            phase_synchronised=phase_synchronised,
+            input_dtype=input_dtype,
+            output_dtype=output_dtype,
+            output_nbytes=output_nbytes,
         )
         self.filters[name] = spec
         return spec
@@ -113,10 +148,18 @@ class FilterGraph:
         return [f for f in self.filters.values() if not f.outputs]
 
     def topological_order(self) -> list[str]:
-        """Filter names in a producer-before-consumer order."""
-        self.validate()
-        dag = self._as_nx()
-        return list(nx.topological_sort(dag))
+        """Filter names in a producer-before-consumer order.
+
+        Raises :class:`GraphError` on a cyclic graph; unlike earlier
+        versions it does *not* re-run full validation on every call —
+        use :meth:`validate` or :func:`repro.analysis.verify_graph` for
+        the structural rule set.
+        """
+        try:
+            return list(nx.topological_sort(self._as_nx()))
+        except nx.NetworkXUnfeasible:
+            cycle = nx.find_cycle(self._as_nx())
+            raise GraphError(f"graph has a cycle: {cycle}") from None
 
     def upstream_of(self, name: str) -> set[str]:
         """All filters that (transitively) feed ``name``."""
@@ -126,23 +169,18 @@ class FilterGraph:
 
     # -- validation ---------------------------------------------------------
     def validate(self) -> None:
-        """Check structural invariants; raise :class:`GraphError` if broken."""
-        if not self.filters:
-            raise GraphError("graph has no filters")
-        dag = self._as_nx()
-        if not nx.is_directed_acyclic_graph(dag):
-            cycle = nx.find_cycle(dag)
-            raise GraphError(f"graph has a cycle: {cycle}")
-        for spec in self.filters.values():
-            if not spec.inputs and not spec.is_source:
-                raise GraphError(
-                    f"filter {spec.name!r} has no inputs but is not marked "
-                    f"is_source"
-                )
-            if spec.is_source and spec.inputs:
-                raise GraphError(
-                    f"source filter {spec.name!r} must not have inputs"
-                )
+        """Check structural invariants; raise :class:`GraphError` if broken.
+
+        Thin compatibility wrapper over the analysis layer's graph rules
+        (:func:`repro.analysis.verify_graph`): it raises on the first
+        ERROR-level diagnostic with the historical message wording.  Use
+        the analysis API directly to see *all* findings with rule ids,
+        severities and fix hints.
+        """
+        from repro.analysis.diagnostics import DiagnosticReport
+        from repro.analysis.pipeline import verify_graph
+
+        DiagnosticReport(verify_graph(self)).raise_errors()
 
     def _as_nx(self) -> nx.DiGraph:
         dag = nx.DiGraph()

@@ -103,19 +103,20 @@ class Placement:
 
     # -- validation ---------------------------------------------------------
     def validate(self, graph: FilterGraph, known_hosts: Iterable[str]) -> None:
-        """Check the placement covers the graph and references real hosts."""
-        known = set(known_hosts)
-        for name in graph.filters:
-            if name not in self._map:
-                raise PlacementError(f"filter {name!r} has no placement")
-        for name, specs in self._map.items():
-            if name not in graph.filters:
-                raise PlacementError(f"placed filter {name!r} is not in the graph")
-            for spec in specs:
-                if spec.host not in known:
-                    raise PlacementError(
-                        f"filter {name!r} placed on unknown host {spec.host!r}"
-                    )
+        """Check the placement covers the graph and references real hosts.
+
+        Thin compatibility wrapper over the analysis layer's placement
+        rules (:func:`repro.analysis.verify_placement`): it raises
+        :class:`PlacementError` on the first ERROR-level diagnostic with
+        the historical message wording.  Use the analysis API directly to
+        see *all* findings with rule ids, severities and fix hints.
+        """
+        from repro.analysis.diagnostics import DiagnosticReport
+        from repro.analysis.pipeline import verify_placement
+
+        DiagnosticReport(
+            verify_placement(graph, self, known_hosts)
+        ).raise_errors()
 
     def __repr__(self) -> str:
         parts = ", ".join(

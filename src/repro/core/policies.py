@@ -48,7 +48,7 @@ class Target:
 
     __slots__ = ("index", "host", "copies", "local", "unacked", "sent")
 
-    def __init__(self, index: int, host: str, copies: int, local: bool):
+    def __init__(self, index: int, host: str, copies: int, local: bool) -> None:
         self.index = index
         self.host = host
         self.copies = copies
@@ -81,6 +81,22 @@ class WriterPolicy(ABC):
         if not targets:
             raise ConfigurationError("writer bound with no targets")
         self.targets = list(targets)
+
+    def describe(self) -> dict[str, object]:
+        """Static self-description for the analysis layer and tracing.
+
+        Returns the policy class name, whether it consumes consumer
+        acknowledgments, and its sliding-window size (``None`` for
+        unwindowed policies).  :func:`repro.analysis.verify_flow` probes
+        one unbound instance per stream through this hook instead of
+        poking at concrete subclasses.
+        """
+        window = getattr(self, "window", None)
+        return {
+            "name": type(self).__name__,
+            "needs_ack": self.needs_ack,
+            "window": window if isinstance(window, int) else None,
+        }
 
     @abstractmethod
     def select(self) -> Target | None:
@@ -164,7 +180,7 @@ class DemandDriven(WriterPolicy):
 
     needs_ack = True
 
-    def __init__(self, window: int = 4, prefer_local: bool = True):
+    def __init__(self, window: int = 4, prefer_local: bool = True) -> None:
         super().__init__()
         if window < 1:
             raise ConfigurationError(f"DD window must be >= 1, got {window}")
@@ -225,7 +241,7 @@ class RateBased(WriterPolicy):
 
     needs_ack = True
 
-    def __init__(self, window: int = 8, alpha: float = 0.3, prefer_local: bool = True):
+    def __init__(self, window: int = 8, alpha: float = 0.3, prefer_local: bool = True) -> None:
         super().__init__()
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")

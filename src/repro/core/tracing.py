@@ -21,6 +21,8 @@ Event kinds (the unified schema):
 ``flush``   end-of-stream flush span (detail: ``start`` / ``end``)
 ``done``    a copy finished its unit of work
 ``blocked`` writer stalled on full windows/queues (detail: ``start``/``end``)
+``analysis`` a WARNING from the static pipeline verifier, recorded at run
+            start (detail: ``rule-id: message``)
 ==========  ================================================================
 
 Beyond raw events the tracer carries *queue-depth samples* (one per
@@ -43,9 +45,13 @@ from typing import IO, Any
 
 __all__ = ["EVENT_KINDS", "TraceEvent", "QueueSample", "Tracer"]
 
-#: The unified event schema both engines emit.
+#: The unified event schema both engines emit.  ``analysis`` events carry
+#: WARNING-level findings of the static pipeline verifier
+#: (:mod:`repro.analysis`), recorded at run start with the diagnostic's
+#: subject as the copy label and ``"<rule>: <message>"`` as the detail.
 EVENT_KINDS = frozenset(
-    {"recv", "compute", "io", "send", "ack", "flush", "done", "blocked"}
+    {"recv", "compute", "io", "send", "ack", "flush", "done", "blocked",
+     "analysis"}
 )
 
 #: Event kinds recorded as start/end pairs (spans).
@@ -90,7 +96,7 @@ class Tracer:
     threads at once.
     """
 
-    def __init__(self, limit: int = 1_000_000, clock: str = ""):
+    def __init__(self, limit: int = 1_000_000, clock: str = "") -> None:
         if limit < 1:
             raise ValueError(f"limit must be >= 1, got {limit}")
         self.limit = limit

@@ -8,8 +8,8 @@ nodes (Figure 7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from collections import defaultdict
+from dataclasses import dataclass
 
 from repro.data.decluster import DataFile
 from repro.errors import DataError

@@ -3,11 +3,21 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Callable, Iterable
+from typing import TYPE_CHECKING
 
 from repro.core.instrument import RunMetrics
 from repro.errors import EngineError
 
-__all__ = ["Engine", "validate_run_setup"]
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.analysis.diagnostics import DiagnosticReport
+    from repro.core.buffer import BufferCodec
+    from repro.core.graph import FilterGraph
+    from repro.core.placement import Placement
+    from repro.core.policies import WriterPolicy
+    from repro.core.tracing import Tracer
+
+__all__ = ["Engine", "validate_run_setup", "emit_analysis_events"]
 
 
 class Engine(ABC):
@@ -26,24 +36,65 @@ class Engine(ABC):
         """Execute one unit of work and return its measurements."""
 
 
-def validate_run_setup(graph, placement, queue_capacity, engine_name):
-    """Shared constructor checks of the real (threaded/process) engines.
+def validate_run_setup(
+    graph: "FilterGraph",
+    placement: "Placement",
+    queue_capacity: int,
+    engine_name: str,
+    policy_for: "Callable[[str], Callable[[], WriterPolicy]] | None" = None,
+    known_hosts: "Iterable[str] | None" = None,
+    codec: "BufferCodec | None" = None,
+    factory_slot: str = "factory",
+) -> "DiagnosticReport":
+    """Shared constructor checks of every engine: the static verifier.
 
-    Validates the graph, checks the placement against the hosts it names,
-    requires a real-filter factory on every filter and a sane queue bound.
-    Raises :class:`~repro.errors.EngineError` / the graph and placement
-    error types on violation.
+    Runs :func:`repro.analysis.verify_pipeline` over the full run
+    configuration — graph structure, placement (against ``known_hosts``
+    when the engine has a cluster; the real engines treat host names as
+    labels), writer-policy flow control and buffer/codec declarations —
+    plus the engine-specific requirements (a ``factory``/``sim_factory``
+    per filter, a sane queue bound).
+
+    ERROR-level diagnostics raise immediately (:class:`GraphError` /
+    :class:`PlacementError` / :class:`~repro.errors.AnalysisError` by rule
+    scope); the full report — including WARNING diagnostics the engine
+    surfaces as ``analysis`` trace events at run start — is returned.
     """
-    graph.validate()
-    hosts = {
-        cs.host for name in graph.filters for cs in placement.copysets(name)
-    }
-    placement.validate(graph, hosts)
+    from repro.analysis.pipeline import verify_pipeline
+
+    if known_hosts is None:
+        known_hosts = {
+            cs.host
+            for name in placement.placed_filters()
+            for cs in placement.copysets(name)
+        }
+    report = verify_pipeline(
+        graph,
+        placement,
+        known_hosts=known_hosts,
+        policy_for=policy_for,
+        queue_capacity=queue_capacity,
+        codec=codec,
+    )
+    report.raise_errors()
     for spec in graph.filters.values():
-        if spec.factory is None:
+        if getattr(spec, factory_slot) is None:
             raise EngineError(
-                f"filter {spec.name!r} has no factory; the {engine_name} "
-                f"engine needs one per filter"
+                f"filter {spec.name!r} has no {factory_slot}; the "
+                f"{engine_name} engine needs one per filter"
             )
     if queue_capacity < 1:
         raise EngineError(f"queue_capacity must be >= 1, got {queue_capacity}")
+    return report
+
+
+def emit_analysis_events(
+    tracer: "Tracer | None", report: "DiagnosticReport | None", time: float
+) -> None:
+    """Record the verifier's WARNING diagnostics as ``analysis`` events."""
+    if tracer is None or report is None:
+        return
+    for diag in report.warnings:
+        tracer.record(
+            time, diag.subject, "analysis", f"{diag.rule}: {diag.message}"
+        )

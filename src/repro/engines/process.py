@@ -55,7 +55,7 @@ from repro.core.instrument import DEFAULT_ACK_BYTES, RunMetrics
 from repro.core.placement import Placement
 from repro.core.policies import PolicyFactory, Target, make_policy_factory
 from repro.core.tracing import Tracer
-from repro.engines.base import Engine, validate_run_setup
+from repro.engines.base import Engine, emit_analysis_events, validate_run_setup
 from repro.errors import EngineError
 
 __all__ = ["ProcessEngine"]
@@ -263,7 +263,15 @@ class ProcessEngine(Engine):
         codec: "BufferCodec | None" = None,
         start_method: str | None = None,
     ):
-        validate_run_setup(graph, placement, queue_capacity, "process")
+        self._default_factory = self._resolve(policy)
+        self._stream_factories = {
+            name: self._resolve(p) for name, p in (policy_overrides or {}).items()
+        }
+        self.codec = codec or BufferCodec()
+        self._analysis_report = validate_run_setup(
+            graph, placement, queue_capacity, "process",
+            policy_for=self._policy_for, codec=self.codec,
+        )
         start_method = start_method or "fork"
         if start_method not in multiprocessing.get_all_start_methods():
             raise EngineError(
@@ -277,12 +285,7 @@ class ProcessEngine(Engine):
         self.queue_capacity = queue_capacity
         self.ack_nbytes = ack_nbytes
         self.tracer = tracer
-        self.codec = codec or BufferCodec()
         self.start_method = start_method
-        self._default_factory = self._resolve(policy)
-        self._stream_factories = {
-            name: self._resolve(p) for name, p in (policy_overrides or {}).items()
-        }
 
     @staticmethod
     def _resolve(policy: str | PolicyFactory) -> PolicyFactory:
@@ -372,6 +375,7 @@ class ProcessEngine(Engine):
         tracer = self.tracer
         if tracer is not None and not tracer.clock:
             tracer.clock = "wall"
+        emit_analysis_events(tracer, self._analysis_report, 0.0)
         t_start = time.perf_counter()
         shared = {
             "uows": uows,

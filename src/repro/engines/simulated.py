@@ -35,7 +35,7 @@ from repro.core.instrument import DEFAULT_ACK_BYTES, CopyStats, RunMetrics
 from repro.core.placement import Placement
 from repro.core.policies import PolicyFactory, Target, make_policy_factory
 from repro.core.tracing import Tracer
-from repro.engines.base import Engine
+from repro.engines.base import Engine, emit_analysis_events, validate_run_setup
 from repro.errors import EngineError, StreamClosedError
 from repro.sim.cluster import Cluster
 from repro.sim.kernel import Environment, Event
@@ -164,16 +164,15 @@ class SimulatedEngine(Engine):
         ack_nbytes: int = DEFAULT_ACK_BYTES,
         tracer: "Tracer | None" = None,
     ):
-        graph.validate()
-        placement.validate(graph, cluster.hosts)
-        for spec in graph.filters.values():
-            if spec.sim_factory is None:
-                raise EngineError(
-                    f"filter {spec.name!r} has no sim_factory; the simulated "
-                    f"engine needs one per filter"
-                )
-        if queue_capacity < 1:
-            raise EngineError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        self._default_factory = self._resolve(policy)
+        self._stream_factories = {
+            name: self._resolve(p) for name, p in (policy_overrides or {}).items()
+        }
+        self._analysis_report = validate_run_setup(
+            graph, placement, queue_capacity, "simulated",
+            policy_for=self._policy_for, known_hosts=cluster.hosts,
+            factory_slot="sim_factory",
+        )
         self.cluster = cluster
         self.env: Environment = cluster.env
         self.graph = graph
@@ -181,10 +180,6 @@ class SimulatedEngine(Engine):
         self.queue_capacity = queue_capacity
         self.ack_nbytes = ack_nbytes
         self.tracer = tracer
-        self._default_factory = self._resolve(policy)
-        self._stream_factories = {
-            name: self._resolve(p) for name, p in (policy_overrides or {}).items()
-        }
 
     @staticmethod
     def _resolve(policy: str | PolicyFactory) -> PolicyFactory:
@@ -243,6 +238,7 @@ class SimulatedEngine(Engine):
         metrics.ack_nbytes = self.ack_nbytes
         if self.tracer is not None and not self.tracer.clock:
             self.tracer.clock = "sim"
+        emit_analysis_events(self.tracer, self._analysis_report, start)
 
         # Copy-set runtimes, keyed by (filter, host).
         copysets: dict[str, list[_CopySetRuntime]] = {}

@@ -28,7 +28,7 @@ from repro.core.instrument import DEFAULT_ACK_BYTES, RunMetrics
 from repro.core.placement import Placement
 from repro.core.policies import PolicyFactory, Target, make_policy_factory
 from repro.core.tracing import Tracer
-from repro.engines.base import Engine, validate_run_setup
+from repro.engines.base import Engine, emit_analysis_events, validate_run_setup
 from repro.errors import EngineError
 
 __all__ = ["ThreadedEngine"]
@@ -165,17 +165,20 @@ class ThreadedEngine(Engine):
         tracer: "Tracer | None" = None,
         codec: "BufferCodec | None" = None,
     ):
-        validate_run_setup(graph, placement, queue_capacity, "threaded")
+        self._default_factory = self._resolve(policy)
+        self._stream_factories = {
+            name: self._resolve(p) for name, p in (policy_overrides or {}).items()
+        }
+        self._analysis_report = validate_run_setup(
+            graph, placement, queue_capacity, "threaded",
+            policy_for=self._policy_for, codec=codec,
+        )
         self.graph = graph
         self.placement = placement
         self.queue_capacity = queue_capacity
         self.ack_nbytes = ack_nbytes
         self.tracer = tracer
         self.codec = codec
-        self._default_factory = self._resolve(policy)
-        self._stream_factories = {
-            name: self._resolve(p) for name, p in (policy_overrides or {}).items()
-        }
 
     @staticmethod
     def _resolve(policy: str | PolicyFactory) -> PolicyFactory:
@@ -222,6 +225,7 @@ class ThreadedEngine(Engine):
         tracer = self.tracer
         if tracer is not None and not tracer.clock:
             tracer.clock = "wall"
+        emit_analysis_events(tracer, self._analysis_report, 0.0)
 
         # Per-cycle queues, pre-created so cycles pipeline without barriers.
         copysets: dict[str, list[list[_CopySetQueue]]] = {}

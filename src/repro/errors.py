@@ -53,3 +53,18 @@ class ConfigurationError(ReproError):
 
 class MetricsError(ReproError):
     """Run-metrics consistency violation (see ``RunMetrics.validate``)."""
+
+
+class AnalysisError(ReproError):
+    """A static-analysis pass found ERROR-level diagnostics.
+
+    Raised by :meth:`repro.analysis.DiagnosticReport.raise_errors` for
+    diagnostics that do not map onto a more specific error type
+    (:class:`GraphError` for graph-scope rules, :class:`PlacementError` for
+    placement-scope rules).  The ``report`` attribute carries the full
+    :class:`repro.analysis.DiagnosticReport`.
+    """
+
+    def __init__(self, message: str, report: object = None):
+        super().__init__(message)
+        self.report = report

@@ -12,7 +12,6 @@ import time
 from repro.experiments import (
     concurrent_queries,
     dynamic_load,
-    validation,
     figure4,
     figure5,
     figure7,
@@ -21,6 +20,7 @@ from repro.experiments import (
     table3,
     table4,
     table5,
+    validation,
 )
 from repro.experiments.charts import bar_chart
 

@@ -23,9 +23,9 @@ from repro.core.negotiate import declare_bounds, negotiate
 from repro.core.placement import Placement
 from repro.data.storage import StorageMap
 from repro.errors import ConfigurationError
-from repro.viz.camera import Camera
 from repro.viz import filters as real
 from repro.viz import models as sim
+from repro.viz.camera import Camera
 from repro.viz.models import BufferSizes, CostParams
 from repro.viz.profile import DatasetProfile
 
@@ -207,7 +207,12 @@ class IsosurfaceApp:
             factory=self._real_or_none(lambda: real.ExtractFilter(self.isovalue)),
         )
         g.add_filter("Ra")
-        g.add_filter("M")
+        g.add_filter(
+            # The z-buffer merge is a phase-synchronised accumulator: it
+            # only emits at the end-of-work phase boundary (verifier Z401).
+            "M",
+            phase_synchronised=self.algorithm == "zbuffer",
+        )
         g.connect("R", "E")
         g.connect("E", "Ra")
         g.connect("Ra", "M")
@@ -241,7 +246,12 @@ class IsosurfaceApp:
             is_source=True,
         )
         g.add_filter("Ra")
-        g.add_filter("M")
+        g.add_filter(
+            # The z-buffer merge is a phase-synchronised accumulator: it
+            # only emits at the end-of-work phase boundary (verifier Z401).
+            "M",
+            phase_synchronised=self.algorithm == "zbuffer",
+        )
         g.connect("RE", "Ra")
         g.connect("Ra", "M")
         eff = self._negotiate(g, {"RE->Ra": "triangles", "Ra->M": "merge"})
@@ -275,7 +285,12 @@ class IsosurfaceApp:
                 )
             ),
         )
-        g.add_filter("M")
+        g.add_filter(
+            # The z-buffer merge is a phase-synchronised accumulator: it
+            # only emits at the end-of-work phase boundary (verifier Z401).
+            "M",
+            phase_synchronised=self.algorithm == "zbuffer",
+        )
         g.connect("R", "ERa")
         g.connect("ERa", "M")
         eff = self._negotiate(g, {"R->ERa": "read", "ERa->M": "merge"})
@@ -306,7 +321,12 @@ class IsosurfaceApp:
             ),
             is_source=True,
         )
-        g.add_filter("M")
+        g.add_filter(
+            # The z-buffer merge is a phase-synchronised accumulator: it
+            # only emits at the end-of-work phase boundary (verifier Z401).
+            "M",
+            phase_synchronised=self.algorithm == "zbuffer",
+        )
         g.connect("RERa", "M")
         eff = self._negotiate(g, {"RERa->M": "merge"})
         g.filters["RERa"].sim_factory = lambda: sim.ReadExtractRasterSourceModel(

@@ -29,8 +29,8 @@ from repro.data.storage import StorageMap
 from repro.errors import ConfigurationError
 from repro.viz.active_pixel import WPA_ENTRY_BYTES
 from repro.viz.filters import TRIANGLE_BYTES
-from repro.viz.raster import ZBUFFER_ENTRY_BYTES
 from repro.viz.profile import DatasetProfile
+from repro.viz.raster import ZBUFFER_ENTRY_BYTES
 
 __all__ = [
     "CostParams",

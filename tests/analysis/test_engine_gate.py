@@ -1,0 +1,184 @@
+"""Engines run the static verifier before executing anything.
+
+ERROR diagnostics abort construction with the historical exception types;
+WARNING diagnostics surface as ``analysis`` trace events at run start.
+"""
+
+import pytest
+
+from repro.core import DataBuffer, Filter, FilterGraph, Placement, SimFilter, SimSource, SourceItem
+from repro.core.tracing import Tracer
+from repro.engines.process import ProcessEngine
+from repro.engines.simulated import SimulatedEngine
+from repro.engines.threaded import ThreadedEngine
+from repro.errors import AnalysisError, GraphError, PlacementError
+from repro.sim import Environment, homogeneous_cluster
+
+
+class OneShotSource(Filter):
+    def flush(self, ctx):
+        if ctx.copy_index == 0:
+            ctx.write(DataBuffer(8, payload=1))
+
+
+class Forward(Filter):
+    def handle(self, ctx, buffer):
+        ctx.write(buffer)
+
+
+class CountSink(Filter):
+    def __init__(self):
+        self.n = 0
+
+    def handle(self, ctx, buffer):
+        self.n += 1
+
+    def result(self):
+        return self.n
+
+
+def thread_graph(**mid_kwargs):
+    g = FilterGraph()
+    g.add_filter("src", factory=OneShotSource, is_source=True)
+    g.add_filter("mid", factory=Forward, **mid_kwargs)
+    g.add_filter("sink", factory=CountSink)
+    g.connect("src", "mid")
+    g.connect("mid", "sink")
+    return g
+
+
+def full_placement(g, copies=1):
+    p = Placement()
+    for name in g.filters:
+        p.place(name, [("h0", copies if name == "mid" else 1)])
+    return p
+
+
+# -- construction-time refusal ----------------------------------------------
+
+
+def test_threaded_engine_refuses_orphan_filter():
+    g = thread_graph()
+    g.add_filter("floating", factory=Forward)
+    p = full_placement(g)
+    with pytest.raises(GraphError, match="is_source"):
+        ThreadedEngine(g, p)
+
+
+def test_threaded_engine_refuses_missing_placement():
+    g = thread_graph()
+    p = Placement().place("src", ["h0"]).place("mid", ["h0"])
+    with pytest.raises(PlacementError, match="has no placement"):
+        ThreadedEngine(g, p)
+
+
+def test_threaded_engine_refuses_phase_sync_fan_in():
+    g = FilterGraph()
+    g.add_filter("a", factory=OneShotSource, is_source=True)
+    g.add_filter("b", factory=OneShotSource, is_source=True)
+    g.add_filter("merge", factory=CountSink, phase_synchronised=True)
+    g.connect("a", "merge")
+    g.connect("b", "merge")
+    p = Placement()
+    p.place("a", ["h0"]).place("b", ["h0"]).place("merge", ["h0"])
+    with pytest.raises(AnalysisError, match=r"\[Z401\]") as err:
+        ThreadedEngine(g, p)
+    assert "Z401" in err.value.report.rule_ids()
+
+
+def test_process_engine_refuses_cycle():
+    g = thread_graph()
+    g.connect("sink", "mid", name="back")
+    p = full_placement(g)
+    with pytest.raises(GraphError, match="cycle"):
+        ProcessEngine(g, p)
+
+
+def test_simulated_engine_refuses_unknown_host():
+    env = Environment()
+    cluster = homogeneous_cluster(env, nodes=2)
+    g = FilterGraph()
+    g.add_filter("src", sim_factory=ListSource, is_source=True)
+    g.add_filter("sink", sim_factory=Counting)
+    g.connect("src", "sink")
+    p = Placement().place("src", ["node0"]).place("sink", ["mars"])
+    with pytest.raises(PlacementError, match="unknown host"):
+        SimulatedEngine(cluster, g, p)
+
+
+# -- warnings become trace events --------------------------------------------
+
+
+def test_threaded_engine_records_analysis_warnings():
+    g = thread_graph()
+    p = Placement()
+    p.place("src", ["h0"])
+    p.place("mid", [("h0", 1), ("h1", 1)])  # WRR with all-1 copies: W301
+    p.place("sink", ["h0"])
+    tracer = Tracer()
+    engine = ThreadedEngine(g, p, policy="WRR", tracer=tracer)
+    assert "W301" in engine._analysis_report.rule_ids()
+    metrics = engine.run()
+    assert metrics.result == 1
+    analysis = [e for e in tracer.events if e.kind == "analysis"]
+    assert analysis, "no analysis trace events recorded"
+    assert any(e.detail.startswith("W301:") for e in analysis)
+
+
+def test_clean_pipeline_records_no_analysis_events():
+    g = thread_graph()
+    tracer = Tracer()
+    ThreadedEngine(g, full_placement(g), tracer=tracer).run()
+    assert [e for e in tracer.events if e.kind == "analysis"] == []
+
+
+class ListSource(SimSource):
+    def items(self, ctx):
+        for i in range(4):
+            if i % ctx.total_copies == ctx.copy_index:
+                yield SourceItem(outputs=[DataBuffer(100, tags={"seq": i})])
+
+
+class Counting(SimFilter):
+    def __init__(self):
+        self.n = 0
+
+    def cost(self, buffer):
+        return 0.0
+
+    def react(self, buffer):
+        self.n += 1
+        return ()
+
+    def result(self):
+        return self.n
+
+
+def test_simulated_engine_records_analysis_warnings():
+    env = Environment()
+    cluster = homogeneous_cluster(env, nodes=2)
+    g = FilterGraph()
+    g.add_filter("src", sim_factory=ListSource, is_source=True)
+    g.add_filter("sink", sim_factory=Counting)
+    g.connect("src", "sink")
+    p = Placement()
+    p.place("src", ["node0"])
+    p.place("sink", [("node0", 2)])  # multi-copy sink: P204 warning
+    tracer = Tracer()
+    SimulatedEngine(cluster, g, p, tracer=tracer).run()
+    analysis = [e for e in tracer.events if e.kind == "analysis"]
+    assert any(e.detail.startswith("P204:") for e in analysis)
+
+
+def test_process_engine_records_analysis_warnings():
+    g = thread_graph()
+    p = Placement()
+    p.place("src", ["h0"])
+    p.place("mid", [("h0", 1), ("h1", 1)])
+    p.place("sink", ["h0"])
+    tracer = Tracer()
+    engine = ProcessEngine(g, p, policy="WRR", tracer=tracer)
+    metrics = engine.run()
+    assert metrics.result == 1
+    analysis = [e for e in tracer.events if e.kind == "analysis"]
+    assert any(e.detail.startswith("W301:") for e in analysis)

@@ -166,3 +166,160 @@ def test_trace_rejects_bad_width(tmp_path):
     path.write_text('{"type": "meta", "version": 1, "clock": "sim", "dropped": 0}\n')
     with pytest.raises(SystemExit):
         build_parser().parse_args(["trace", str(path), "--width", "0"])
+
+
+# -- lint --------------------------------------------------------------------
+
+BAD_FILTER_SOURCE = """\
+import time
+
+from repro.core import Filter
+
+
+class LeakyFilter(Filter):
+    def handle(self, ctx, buffer):
+        time.sleep(0.01)
+        ctx.write(buffer)
+        buffer.tags["late"] = 1
+"""
+
+BAD_PIPELINE_MODULE = BAD_FILTER_SOURCE + """\
+
+
+from repro.core.graph import FilterGraph
+from repro.core.placement import Placement
+
+graph = FilterGraph()
+graph.add_filter("a", is_source=True, output_dtype="float32")
+graph.add_filter("b", input_dtype="float64")
+graph.add_filter("merge", phase_synchronised=True)
+graph.add_filter("floating")
+graph.connect("a", "b")
+graph.connect("a", "merge")
+graph.connect("b", "merge")
+graph.connect("a", "b", name="dup")
+
+placement = Placement()
+placement.place("a", ["h0"])
+placement.place("b", [("h0", 1), ("h1", 1)])
+placement.place("merge", [("h0", 2)])
+placement.place("ghost", ["h0"])
+"""
+
+
+def test_lint_rules_catalogue(capsys):
+    assert main(["lint", "--rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("G102", "P203", "W302", "Z401", "B501", "C601"):
+        assert rule in out
+
+
+def test_lint_without_inputs_is_usage_error(capsys):
+    assert main(["lint"]) == 2
+    assert "nothing to lint" in capsys.readouterr().err
+
+
+def test_lint_missing_file_is_usage_error(tmp_path, capsys):
+    assert main(["lint", str(tmp_path / "nope.py")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_lint_clean_file_passes(tmp_path, capsys):
+    path = tmp_path / "clean.py"
+    path.write_text("x = 1\n")
+    assert main(["lint", str(path)]) == 0
+    assert "no diagnostics" in capsys.readouterr().out
+
+
+def test_lint_bad_filter_file_fails_with_hints(tmp_path, capsys):
+    path = tmp_path / "bad.py"
+    path.write_text(BAD_FILTER_SOURCE)
+    assert main(["lint", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "C601" in out
+    assert "C603" in out
+    assert "fix:" in out
+
+
+def test_lint_directory_recurses(tmp_path, capsys):
+    sub = tmp_path / "pkg"
+    sub.mkdir()
+    (sub / "bad.py").write_text(BAD_FILTER_SOURCE)
+    assert main(["lint", str(tmp_path)]) == 1
+    assert "C601" in capsys.readouterr().out
+
+
+def test_lint_json_output(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "bad.py"
+    path.write_text(BAD_FILTER_SOURCE)
+    assert main(["lint", "--format", "json", str(path)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["summary"]["error"] >= 1
+    rules = {d["rule"] for d in payload["diagnostics"]}
+    assert {"C601", "C603"} <= rules
+    for diag in payload["diagnostics"]:
+        assert diag["hint"]
+
+
+def test_lint_graph_module_detects_many_rules(tmp_path, capsys, monkeypatch):
+    """Acceptance: a purpose-built bad pipeline trips >= 8 distinct rules."""
+    import json
+
+    (tmp_path / "badmod.py").write_text(BAD_PIPELINE_MODULE)
+    monkeypatch.syspath_prepend(str(tmp_path))
+    code = main(
+        [
+            "lint",
+            "--graph-module", "badmod",
+            "--format", "json",
+            "--policy", "DD",
+            "--queue-capacity", "2",
+        ]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    rules = {d["rule"] for d in payload["diagnostics"]}
+    expected = {
+        "G103",  # floating filter neither source nor consumer
+        "G107",  # unreachable from every source
+        "G108",  # parallel streams a->b
+        "P201",  # floating has no placement
+        "P202",  # ghost placed but not in graph
+        "P204",  # multi-copy sink
+        "W302",  # DD window 4 > queue capacity 2
+        "Z401",  # phase-synchronised fan-in
+        "B501",  # float32 -> float64 dtype mismatch
+        "C601",  # mutation after send
+        "C603",  # blocking call in handle
+    }
+    assert expected <= rules
+    assert len(rules) >= 8
+    for diag in payload["diagnostics"]:
+        assert diag["hint"], diag
+
+
+def test_lint_graph_module_attr_callable(tmp_path, capsys, monkeypatch):
+    (tmp_path / "goodmod.py").write_text(
+        "from repro.core.graph import FilterGraph\n"
+        "from repro.core.placement import Placement\n\n"
+        "def build():\n"
+        "    g = FilterGraph()\n"
+        "    g.add_filter('src', is_source=True)\n"
+        "    g.add_filter('sink')\n"
+        "    g.connect('src', 'sink')\n"
+        "    p = Placement()\n"
+        "    p.place('src', ['h0'])\n"
+        "    p.place('sink', ['h0'])\n"
+        "    return g, p\n"
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    assert main(["lint", "--graph-module", "goodmod:build"]) == 0
+    assert "no diagnostics" in capsys.readouterr().out
+
+
+def test_lint_graph_module_import_error(capsys):
+    assert main(["lint", "--graph-module", "no.such.module"]) == 2
+    assert "cannot load" in capsys.readouterr().err
