@@ -15,7 +15,10 @@ Rules (``C6xx`` in the catalogue):
   per-buffer ``handle``/``process`` callback;
 - **C604** unpicklable state on ``self`` (lambdas, locks, open handles) —
   promoted from WARNING to ERROR when the pipeline targets the process
-  engine, whose workers cross a fork/pickle boundary.
+  engine, whose workers cross a fork/pickle boundary;
+- **C605** accumulator attributes grown from ``handle``/``flush`` but
+  never reset in ``init`` — stale state leaks across cycles when the
+  instance is reused by ``run_cycles`` or a warm pool.
 """
 
 from __future__ import annotations
@@ -53,6 +56,9 @@ _BLOCKING_PREFIXES = (
 
 #: Bare call names considered blocking in a per-buffer callback.
 _BLOCKING_NAMES = frozenset({"open", "input", "sleep"})
+
+#: Container methods that grow state in place (C605 accumulation).
+_ACCUMULATE_METHODS = frozenset({"append", "extend", "update", "add"})
 
 #: Constructors whose results cannot cross a fork/pickle boundary.
 _UNPICKLABLE_CALLS = (
@@ -143,6 +149,7 @@ class _ClassLint:
                 self._check_blocking_calls(name, fn)
             self._check_unpicklable_state(name, fn)
         self._check_class_level_state()
+        self._check_stale_cycle_state(methods)
         overrides_handle = bool(HOT_CALLBACKS & set(methods))
         if overrides_handle and not writes and "result" not in methods:
             self.findings.append(
@@ -248,6 +255,95 @@ class _ClassLint:
                             location=self._loc(node),
                         )
                     )
+
+    # -- C605 ---------------------------------------------------------------
+    @staticmethod
+    def _self_attr(node: ast.expr) -> str:
+        """``x`` for a ``self.x`` expression, else an empty string."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return ""
+
+    def _attrs_reset_in(self, fn: ast.FunctionDef) -> set[str]:
+        """Attributes a method (re)binds or clears on ``self``."""
+        reset: set[str] = set()
+        for node in ast.walk(fn):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                attr = self._self_attr(target)
+                if attr:
+                    reset.add(attr)
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "clear"
+            ):
+                attr = self._self_attr(node.func.value)
+                if attr:
+                    reset.add(attr)
+        return reset
+
+    def _check_stale_cycle_state(
+        self, methods: dict[str, ast.FunctionDef]
+    ) -> None:
+        """C605: accumulators grown per buffer but never re-armed per cycle.
+
+        ``init`` runs once per cycle; ``__init__`` once per copy lifetime.
+        An attribute that only ever grows from ``handle``/``flush`` carries
+        the previous unit of work into the next whenever the instance is
+        reused (``run_cycles``, warm pools).  Resets performed by helper
+        methods the ``init`` body calls on ``self`` are honoured one level
+        deep (the ``def init(self, ctx): self._reset()`` idiom).
+        """
+        grown: dict[str, tuple[str, ast.AST]] = {}
+        for name in ("handle", "process", "flush"):
+            fn = methods.get(name)
+            if fn is None:
+                continue
+            for node in ast.walk(fn):
+                attr = ""
+                if isinstance(node, ast.AugAssign):
+                    attr = self._self_attr(node.target)
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _ACCUMULATE_METHODS
+                ):
+                    attr = self._self_attr(node.func.value)
+                if attr and attr not in grown:
+                    grown[attr] = (name, node)
+        if not grown:
+            return
+        reset: set[str] = set()
+        init_fn = methods.get("init")
+        if init_fn is not None:
+            reset |= self._attrs_reset_in(init_fn)
+            for node in ast.walk(init_fn):
+                if isinstance(node, ast.Call):
+                    helper = methods.get(self._self_attr(node.func))
+                    if helper is not None:
+                        reset |= self._attrs_reset_in(helper)
+        for attr, (method, node) in sorted(grown.items()):
+            if attr in reset:
+                continue
+            self.findings.append(
+                RULES["C605"].diagnostic(
+                    f"{self.node.name}.{attr}",
+                    f"{self.node.name}.{method} grows self.{attr} but "
+                    f"init() never resets it; the accumulator carries the "
+                    f"previous cycle's data when the copy is reused "
+                    f"(run_cycles, warm pools)",
+                    location=self._loc(node),
+                )
+            )
 
     def _check_class_level_state(self) -> None:
         severity = Severity.ERROR if self.process_engine else None

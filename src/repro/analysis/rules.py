@@ -251,3 +251,13 @@ _rule(
     "Keep filter state picklable: named functions, plain data, and "
     "handles opened inside the callback that uses them.",
 )
+_rule(
+    "C605", "stale-cycle-state", Severity.WARNING, "code",
+    "A filter accumulates into attributes on self from handle()/flush() "
+    "but never resets them in init(); filter instances are reused across "
+    "cycles by run_cycles and across queries by warm pools, so the "
+    "accumulator carries data from the previous unit of work into the "
+    "next.",
+    "Reset every accumulator in init() — it runs once per cycle, before "
+    "the first buffer; __init__ runs only once per copy lifetime.",
+)

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro.cli experiments [NAME ...] [--scale S]
         Regenerate the paper's tables/figures (default: all).
@@ -20,6 +20,15 @@ Five subcommands::
                                  [--trace] [--trace-out F]
         Run one scheduling scenario on the simulated UMD testbed and print
         the makespan and stream statistics.
+
+    python -m repro.cli serve [--host H] [--port P] [--grid N]
+                              [--timesteps T] [--image W] [--config C]
+                              [--algorithm A] [--copies K] [--policy P]
+                              [--max-inflight N] [--admission N]
+                              [--idle-timeout S]
+        Run the isosurface query service: JSON-lines over TCP, queries
+        rendered on warm process pools (see :mod:`repro.serve` and
+        ``examples/serve_client.py``).
 
     python -m repro.cli trace FILE.jsonl [--width N]
         Render the timeline and per-copy utilisation summary of a trace
@@ -350,6 +359,39 @@ def _load_graph_objects(spec: str) -> list:
     return [(graph, shared, module_file) for graph in graphs]
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import QueryService, SceneSpec, run_server
+
+    scene = SceneSpec(
+        "default",
+        grid=args.grid,
+        timesteps=args.timesteps,
+        seed=args.seed,
+        isovalue=args.isovalue,
+    )
+    service = QueryService(
+        scenes=[scene],
+        config=args.config,
+        algorithm=args.algorithm,
+        width=args.image,
+        height=args.image,
+        policy=args.policy,
+        copies=args.copies,
+        max_inflight=args.max_inflight,
+        pool_idle_timeout=args.idle_timeout,
+    )
+    try:
+        run_server(
+            service,
+            host=args.host,
+            port=args.port,
+            admission_limit=args.admission,
+        )
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.core.tracing import Tracer
 
@@ -462,6 +504,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--rules", action="store_true",
                         help="print the rule catalogue and exit")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the warm-pool isosurface query service"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="TCP port (0 = ephemeral)")
+    p_serve.add_argument("--grid", type=int, default=33,
+                         help="grid points per axis of the served scene")
+    p_serve.add_argument("--timesteps", type=int, default=3,
+                         help="timesteps generated for the served scene")
+    p_serve.add_argument("--image", type=int, default=256,
+                         help="default frame size (pixels)")
+    p_serve.add_argument("--config", default="RE-Ra-M",
+                         choices=["R-E-Ra-M", "RE-Ra-M", "R-ERa-M", "RERa-M"])
+    p_serve.add_argument("--algorithm", default="active",
+                         choices=["active", "zbuffer"])
+    p_serve.add_argument("--policy", default="DD",
+                         choices=["RR", "WRR", "DD", "RATE"])
+    p_serve.add_argument("--copies", type=int, default=2,
+                         help="raster copies per host")
+    p_serve.add_argument("--isovalue", type=float, default=0.35,
+                         help="default isovalue (queries may override)")
+    p_serve.add_argument("--seed", type=int, default=7)
+    p_serve.add_argument("--max-inflight", type=int, default=2,
+                         help="queries pipelining through one pool")
+    p_serve.add_argument("--admission", type=int, default=8,
+                         help="concurrent queries admitted before rejecting")
+    p_serve.add_argument("--idle-timeout", type=float, default=300.0,
+                         help="seconds before an idle pool is reaped")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_trace = sub.add_parser(
         "trace", help="render a timeline from an exported JSONL trace"

@@ -1,0 +1,739 @@
+"""Warm filter-host pools: persistent worker processes serving queries.
+
+``ProcessEngine.run()`` cold-spawns one OS process per transparent copy,
+rebuilds every filter instance and allocates fresh copy-set queues for
+every run — fatal for serving traffic, where the pipeline is fixed and
+only the unit of work changes per query.  :class:`WarmPool` keeps the
+copies alive: it forks the workers once, then feeds successive units of
+work over per-worker control queues, generalising the ``run_cycles``
+protocol from "N cycles known up front" to "cycles arrive over time".
+
+Mechanics
+---------
+The pool allocates ``max_inflight`` *slots*; each slot owns one
+:class:`~repro.engines.process._SharedCopySetQueue` per (filter, host),
+exactly as a batch ``run_cycles(uows)`` call owns one queue per (filter,
+host, cycle).  Cycle ``k`` runs in slot ``k % max_inflight``: up to
+``max_inflight`` queries pipeline through the filters concurrently, and a
+slot is recycled (end-of-work counters rearmed) only after every copy has
+reported cycle ``k`` — so its queues are provably drained.  Workers
+execute the exact same per-cycle protocol as the batch engine
+(:func:`~repro.engines.process._execute_cycle` is shared), ship one report
+per cycle, and block in ``control.get()`` between queries.
+
+The parent-side supervisor blocks in ``multiprocessing.connection.wait``
+on the worker sentinels; an unexpected worker death marks the pool
+*broken*, fails every pending query, terminates the siblings and drains
+abandoned traffic through the engine's ack-and-release helper so no
+shared-memory segment outlives the pool.  An ``idle_timeout`` reaps the
+pool (full ``close()``) after that long with no work in flight.
+
+Payload lifetime contract: unchanged from the process engine — an input
+buffer's arrays are shared-memory views valid only during ``handle``; the
+segments themselves are per-payload and are released by the consuming
+copy, so nothing about pooling extends a lease across queries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import queue as queue_mod
+import threading
+import time
+from collections import OrderedDict
+from typing import Any
+
+from repro.core.graph import FilterGraph
+from repro.core.instrument import DEFAULT_ACK_BYTES, RunMetrics
+from repro.core.placement import Placement
+from repro.core.policies import PolicyFactory
+from repro.core.tracing import Tracer
+from repro.engines.process import (
+    _EOW,
+    _STOP,
+    ProcessEngine,
+    _ack_and_release,
+    _execute_cycle,
+    _fold_cycle,
+    _SharedCopySetQueue,
+    _start_ack_drain,
+)
+from repro.errors import EngineError
+
+__all__ = ["PendingQuery", "PoolManager", "WarmPool"]
+
+
+class PendingQuery:
+    """Future-like handle for one unit of work submitted to a warm pool."""
+
+    def __init__(self, cycle: int, tracer: "Tracer | None", t0: float):
+        self.cycle = cycle
+        self.tracer = tracer
+        self.t0 = t0  # pool-clock timestamp of the submit (trace origin)
+        self.reports: list = []  # (cid, _CycleReport, events, samples, dropped)
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        self._metrics: "RunMetrics | None" = None
+        self._error: "EngineError | None" = None
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: "float | None" = None) -> bool:
+        return self._done.wait(timeout)
+
+    def result(self, timeout: "float | None" = None) -> RunMetrics:
+        """Block until the query finishes; its metrics, or raise its error."""
+        if not self._done.wait(timeout):
+            raise EngineError(
+                f"query (cycle {self.cycle}) still running after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._metrics is not None
+        return self._metrics
+
+    # First outcome wins: the collector resolves, a pool break fails — a
+    # query racing both must not flip after callers have seen it done.
+    def _resolve(self, metrics: RunMetrics) -> None:
+        with self._lock:
+            if self._done.is_set():
+                return
+            self._metrics = metrics
+            self._done.set()
+
+    def _fail(self, error: EngineError) -> None:
+        with self._lock:
+            if self._done.is_set():
+                return
+            self._error = error
+            self._done.set()
+
+
+class WarmPool(ProcessEngine):
+    """A :class:`ProcessEngine` whose copies outlive any single run.
+
+    Construction validates and forks immediately (the pool is warm once
+    ``__init__`` returns); ``submit`` enqueues one unit of work and
+    ``run``/``run_cycles`` provide the blocking batch API on top.  Use as a
+    context manager or call :meth:`close` — the workers are daemonic, but
+    an explicit close delivers queued DD acks and joins the ack threads
+    before the processes exit.
+
+    Additional parameters over the process engine:
+
+    ``max_inflight``
+        Slots in the cycle ring — how many queries may pipeline through
+        the filters concurrently (submits beyond that block).
+    ``idle_timeout``
+        Seconds of no in-flight work after which the pool closes itself
+        (``None`` = never).
+    """
+
+    def __init__(
+        self,
+        graph: FilterGraph,
+        placement: Placement,
+        policy: "str | PolicyFactory" = "DD",
+        policy_overrides: "dict[str, str | PolicyFactory] | None" = None,
+        queue_capacity: int = 8,
+        ack_nbytes: int = DEFAULT_ACK_BYTES,
+        codec=None,
+        start_method: "str | None" = None,
+        max_inflight: int = 2,
+        idle_timeout: "float | None" = None,
+    ):
+        super().__init__(
+            graph,
+            placement,
+            policy=policy,
+            policy_overrides=policy_overrides,
+            queue_capacity=queue_capacity,
+            ack_nbytes=ack_nbytes,
+            tracer=None,
+            codec=codec,
+            start_method=start_method,
+        )
+        if max_inflight < 1:
+            raise EngineError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self.idle_timeout = idle_timeout
+        self.reaped = False
+        self.cycles_completed = 0
+        self._spawn()
+
+    # -- lifecycle -----------------------------------------------------------
+    def _spawn(self) -> None:
+        mp_ctx = multiprocessing.get_context(self.start_method)
+        nslots = self.max_inflight
+        if self.codec.use_shared_memory:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+
+        # One copy-set queue per (filter, host, slot); slots play the role
+        # cycles play in the batch engine's layout.
+        copysets: dict[str, list[list[_SharedCopySetQueue]]] = {}
+        copyset_hosts: dict[str, list[str]] = {}
+        for name, spec in self.graph.filters.items():
+            expected = sum(
+                self.placement.total_copies(s.src) for s in spec.inputs
+            )
+            sets, hosts = [], []
+            for cs in self.placement.copysets(name):
+                sets.append(
+                    [
+                        _SharedCopySetQueue(
+                            mp_ctx, cs.copies, expected, self.queue_capacity
+                        )
+                        for _ in range(nslots)
+                    ]
+                )
+                hosts.append(cs.host)
+            copysets[name] = sets
+            copyset_hosts[name] = hosts
+
+        plan = []  # (cid, spec, host, copy_index, copies_on_host, total, set_idx)
+        cid = 0
+        for name, spec in self.graph.filters.items():
+            total = self.placement.total_copies(name)
+            for set_idx, cs in enumerate(self.placement.copysets(name)):
+                for copy_index in range(cs.copies):
+                    plan.append(
+                        (cid, spec, cs.host, copy_index, cs.copies, total, set_idx)
+                    )
+                    cid += 1
+
+        needs_ack = {
+            name: any(
+                self._policy_for(st.name)().needs_ack for st in spec.outputs
+            )
+            for name, spec in self.graph.filters.items()
+        }
+        ack_queues = [
+            mp_ctx.SimpleQueue() if needs_ack[item[1].name] else None
+            for item in plan
+        ]
+        controls = [mp_ctx.SimpleQueue() for _ in plan]
+        results = mp_ctx.SimpleQueue()
+        self._t_start = time.perf_counter()
+        shared = {
+            "copysets": copysets,
+            "copyset_hosts": copyset_hosts,
+            "ack_queues": ack_queues,
+            "controls": controls,
+            "results": results,
+            "t_start": self._t_start,
+            "nslots": nslots,
+        }
+
+        self._copysets = copysets
+        self._ack_queues = ack_queues
+        self._controls = controls
+        self._results = results
+        self._by_cid = {item[0]: item for item in plan}
+        self._ncopies = len(plan)
+
+        self._lock = threading.Lock()
+        self._submit_lock = threading.Lock()
+        self._pending: dict[int, PendingQuery] = {}
+        self._next_cycle = 0
+        self._slot_free = [threading.Event() for _ in range(nslots)]
+        for ev in self._slot_free:
+            ev.set()
+        self._closed = False
+        self._broken = False
+        self._break_reason: "str | None" = None
+        self._closing = threading.Event()
+        self._shutdown_done = threading.Event()
+        self._last_activity = time.monotonic()
+        self.created_at = time.monotonic()
+        self._wake_recv, self._wake_send = mp_ctx.Pipe(duplex=False)
+
+        procs: dict[int, Any] = {}
+        for item in plan:
+            proc = mp_ctx.Process(
+                target=self._pool_worker,
+                args=(shared, item),
+                name=f"pool:{item[1].name}@{item[2]}#{item[3]}",
+                daemon=True,
+            )
+            procs[item[0]] = proc
+        for proc in procs.values():
+            proc.start()
+        self._procs = procs
+
+        self._collector = threading.Thread(
+            target=self._collect_loop, daemon=True, name="warmpool-collector"
+        )
+        self._collector.start()
+        self._supervisor = threading.Thread(
+            target=self._supervise_loop, daemon=True, name="warmpool-supervisor"
+        )
+        self._supervisor.start()
+
+    def __enter__(self) -> "WarmPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def usable(self) -> bool:
+        """True while the pool accepts new work."""
+        with self._lock:
+            return not self._closed
+
+    def idle_seconds(self) -> float:
+        """Seconds since the pool last had work in flight (0.0 while busy)."""
+        with self._lock:
+            if self._pending:
+                return 0.0
+            return time.monotonic() - self._last_activity
+
+    def stats(self) -> dict:
+        """A snapshot for service dashboards (``repro serve`` ``stats``)."""
+        with self._lock:
+            return {
+                "workers": len(self._procs),
+                "max_inflight": self.max_inflight,
+                "inflight": len(self._pending),
+                "cycles_completed": self.cycles_completed,
+                "closed": self._closed,
+                "broken": self._broken,
+                "reaped": self.reaped,
+                "age_s": time.monotonic() - self.created_at,
+            }
+
+    # -- submission ----------------------------------------------------------
+    def submit(
+        self, uow: Any = None, tracer: "Tracer | None" = None
+    ) -> PendingQuery:
+        """Enqueue one unit of work on the warm copies.
+
+        Blocks while all ``max_inflight`` slots are busy (bounded admission
+        is the caller's concern — ``repro serve`` rejects upstream).  The
+        optional per-query ``tracer`` receives the query's events with
+        timestamps rebased to the submit, so its timeline and the returned
+        metrics' makespan read as end-to-end query latency.
+        """
+        with self._submit_lock:
+            self._check_open()
+            k = self._next_cycle
+            slot_free = self._slot_free[k % self.max_inflight]
+            while not slot_free.wait(timeout=0.5):
+                self._check_open()
+            self._check_open()
+            slot_free.clear()
+            self._next_cycle += 1
+            if tracer is not None and not tracer.clock:
+                tracer.clock = "wall"
+            pending = PendingQuery(k, tracer, t0=self._clock())
+            with self._lock:
+                self._pending[k] = pending
+                self._last_activity = time.monotonic()
+            trace_limit = tracer.limit if tracer is not None else 0
+            for control in self._controls:
+                control.put(("cycle", k, uow, tracer is not None, trace_limit))
+            return pending
+
+    def run(self) -> RunMetrics:
+        """Submit one unit of work and block for it (``Engine`` API)."""
+        return self.submit(None).result()
+
+    def run_cycles(self, uows: "list[Any]") -> list[RunMetrics]:
+        """Batch counterpart of ``ProcessEngine.run_cycles`` on warm copies.
+
+        Failed cycles contribute their partial metrics and errors to one
+        ``EngineError`` (same contract as the batch engines); the metrics
+        list then holds ``None`` at positions whose merge never happened.
+        """
+        if not uows:
+            raise EngineError("run_cycles() needs at least one unit of work")
+        pendings = [self.submit(uow) for uow in uows]
+        metrics_list: list = []
+        errors: list[str] = []
+        for pending in pendings:
+            try:
+                metrics_list.append(pending.result())
+            except EngineError as exc:
+                metrics_list.append(exc.metrics[0] if exc.metrics else None)
+                errors.extend(exc.errors or [str(exc)])
+        if errors:
+            raise EngineError(
+                f"filter copy failed: {errors[0]}",
+                metrics=metrics_list,
+                errors=errors,
+            )
+        return metrics_list
+
+    def _clock(self) -> float:
+        return time.perf_counter() - self._t_start
+
+    def _check_open(self) -> None:
+        with self._lock:
+            if self._broken:
+                raise EngineError(f"warm pool is broken: {self._break_reason}")
+            if self._closed:
+                raise EngineError("warm pool is closed")
+
+    # -- parent-side threads -------------------------------------------------
+    def _collect_loop(self) -> None:
+        """Merge per-cycle worker reports; recycle slots as queries finish."""
+        while True:
+            msg = self._results.get()
+            if msg == _STOP:
+                return
+            if msg[0] != "cycle":
+                continue  # "bye" from an exiting worker
+            _kind, cid, k, cycle, events, samples, dropped = msg
+            with self._lock:
+                pending = self._pending.get(k)
+                if pending is None:
+                    continue  # failed by a pool break while in flight
+                pending.reports.append((cid, cycle, events, samples, dropped))
+                complete = len(pending.reports) == self._ncopies
+            if complete:
+                self._finish_cycle(k, pending)
+
+    def _finish_cycle(self, k: int, pending: PendingQuery) -> None:
+        metrics = RunMetrics()
+        metrics.ack_nbytes = self.ack_nbytes
+        errors: list[str] = []
+        offset = pending.t0
+        for cid, cycle, _e, _s, _d in sorted(pending.reports, key=lambda r: r[0]):
+            item = self._by_cid[cid]
+            error = _fold_cycle(
+                metrics, cycle, item[1].name, item[2], item[3],
+                self.ack_nbytes, time_offset=offset,
+            )
+            if error:
+                errors.append(error)
+        metrics.makespan = max(
+            (c.finished_at for c in metrics.copies), default=0.0
+        )
+        if pending.tracer is not None:
+            events = sorted(
+                (e for r in pending.reports for e in r[2]),
+                key=lambda e: e.time,
+            )
+            samples = sorted(
+                (s for r in pending.reports for s in r[3]),
+                key=lambda s: s.time,
+            )
+            for event in events:
+                pending.tracer.record(
+                    event.time - offset, event.copy, event.kind, event.detail
+                )
+            for sample in samples:
+                pending.tracer.sample_queue(
+                    sample.time - offset, sample.queue, sample.depth
+                )
+            pending.tracer.dropped += sum(r[4] for r in pending.reports)
+
+        # Recycle the slot: every copy has reported cycle k, so the slot's
+        # queues are drained; rearm the end-of-work counters before the
+        # next submit can route a cycle into them.
+        slot = k % self.max_inflight
+        for sets in self._copysets.values():
+            for per_set in sets:
+                per_set[slot].reset()
+        with self._lock:
+            self._pending.pop(k, None)
+            self._last_activity = time.monotonic()
+            self.cycles_completed += 1
+        self._slot_free[slot].set()
+        if errors:
+            pending._fail(
+                EngineError(
+                    f"filter copy failed: {errors[0]}",
+                    metrics=[metrics],
+                    errors=errors,
+                )
+            )
+        else:
+            pending._resolve(metrics)
+
+    def _supervise_loop(self) -> None:
+        """Block on worker sentinels; break the pool on unexpected death.
+
+        Same no-polling contract as ``ProcessEngine._supervise``: while the
+        workers are healthy this thread sleeps in the kernel (the wake pipe
+        exists so ``close()`` can retire it).  With an ``idle_timeout`` the
+        wait is bounded by the time left until the pool would be reaped.
+        """
+        sentinels = {p.sentinel: c for c, p in self._procs.items()}
+        waitables = list(sentinels) + [self._wake_recv]
+        while True:
+            timeout = None
+            if self.idle_timeout is not None:
+                with self._lock:
+                    busy = bool(self._pending)
+                    idle_for = time.monotonic() - self._last_activity
+                if not busy:
+                    timeout = max(0.0, self.idle_timeout - idle_for)
+            ready = multiprocessing.connection.wait(waitables, timeout)
+            if self._closing.is_set():
+                return
+            if not ready:
+                with self._lock:
+                    reap = (
+                        not self._pending
+                        and not self._closed
+                        and time.monotonic() - self._last_activity
+                        >= self.idle_timeout
+                    )
+                if reap:
+                    self.reaped = True
+                    self.close()
+                    return
+                continue
+            if self._wake_recv in ready:
+                while self._wake_recv.poll():
+                    self._wake_recv.recv()
+                continue
+            dead_cid = sentinels[
+                next(s for s in ready if s is not self._wake_recv)
+            ]
+            proc = self._procs[dead_cid]
+            proc.join()
+            item = self._by_cid[dead_cid]
+            self._break_pool(
+                f"pool worker {item[1].name}@{item[2]}#{item[3]} died "
+                f"with exit code {proc.exitcode}"
+            )
+            return
+
+    def _break_pool(self, reason: str) -> None:
+        """Unexpected worker death: fail everything, reap, free segments."""
+        with self._lock:
+            self._broken = True
+            self._closed = True
+            self._break_reason = reason
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs.values():
+            proc.join()
+        self._results.put(_STOP)
+        self._collector.join()
+        self._drain_all_slots()
+        error = EngineError(f"warm pool is broken: {reason}", errors=[reason])
+        for query in pending:
+            query._fail(error)
+        for slot_free in self._slot_free:
+            slot_free.set()  # wake blocked submitters into _check_open
+        self._shutdown_done.set()
+
+    def _drain_all_slots(self) -> None:
+        """Discard abandoned traffic so no shared-memory segment leaks."""
+        for sets in self._copysets.values():
+            for per_set in sets:
+                for csq in per_set:
+                    while True:
+                        try:
+                            item = csq.queue.get_nowait()
+                        except queue_mod.Empty:
+                            break
+                        except BaseException:
+                            break  # torn pipe from a terminated worker
+                        if item == _STOP or item == _EOW:
+                            continue
+                        _ack_and_release(item, self._ack_queues)
+
+    def close(self) -> None:
+        """Drain in-flight queries, then retire the workers.
+
+        Close-while-busy is graceful: new submits are rejected first, every
+        pending query runs to completion, and each worker delivers its
+        queued DD acks (FIFO ``_STOP`` through the ack queue) and joins its
+        ack thread before exiting.  Idempotent; concurrent callers block
+        until shutdown finishes.
+        """
+        with self._submit_lock:
+            with self._lock:
+                already = self._closed
+                self._closed = True
+        if already:
+            if threading.current_thread() is not self._supervisor:
+                self._shutdown_done.wait()
+            return
+        with self._lock:
+            pending = list(self._pending.values())
+        for query in pending:
+            query.wait()
+        self._closing.set()
+        try:
+            self._wake_send.send(b"x")
+        except (OSError, ValueError):  # pragma: no cover - already torn down
+            pass
+        if threading.current_thread() is not self._supervisor:
+            self._supervisor.join()
+        if not self._broken:
+            for control in self._controls:
+                control.put(("close",))
+            for proc in self._procs.values():
+                proc.join(timeout=10.0)
+            for proc in self._procs.values():
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join()
+            self._results.put(_STOP)
+            self._collector.join()
+            self._drain_all_slots()
+        self._shutdown_done.set()
+
+    # -- the worker (child process) -----------------------------------------
+    def _pool_worker(self, shared, item) -> None:
+        """One copy's process: execute cycles as they arrive, until close."""
+        cid, spec, host, copy_index, copies_on_host, total, set_idx = item
+        copysets = shared["copysets"]
+        copyset_hosts = shared["copyset_hosts"]
+        ack_queues = shared["ack_queues"]
+        control = shared["controls"][cid]
+        results = shared["results"]
+        nslots = shared["nslots"]
+        t_start = shared["t_start"]
+        clock = lambda: time.perf_counter() - t_start  # noqa: E731
+        label = f"{spec.name}@{host}#{copy_index}"
+        codec = self.codec
+
+        writers_by_cycle: dict = {}
+        ack_queue = ack_queues[cid]
+        ack_thread = None
+        if ack_queue is not None:
+            ack_thread = _start_ack_drain(ack_queue, writers_by_cycle)
+
+        try:
+            instance = spec.factory()
+            build_error = None
+        except BaseException as exc:  # noqa: BLE001 - reported per cycle
+            instance = None
+            build_error = f"filter {spec.name!r} failed to build: {exc!r}"
+
+        while True:
+            msg = control.get()
+            if msg[0] == "close":
+                break
+            _kind, k, uow, trace, trace_limit = msg
+            slot = k % nslots
+            tracer = Tracer(limit=trace_limit, clock="wall") if trace else None
+            cycle = _execute_cycle(
+                spec=spec,
+                host=host,
+                copy_index=copy_index,
+                copies_on_host=copies_on_host,
+                total=total,
+                cid=cid,
+                k=k,
+                uow=uow,
+                instance=instance,
+                build_error=build_error,
+                my_queue=copysets[spec.name][set_idx][slot],
+                out_queues={
+                    st.name: [sets[slot] for sets in copysets[st.dst]]
+                    for st in spec.outputs
+                },
+                out_hosts={
+                    st.name: copyset_hosts[st.dst] for st in spec.outputs
+                },
+                policy_for=self._policy_for,
+                codec=codec,
+                ack_queues=ack_queues,
+                tracer=tracer,
+                clock=clock,
+                label=label,
+                writers_by_cycle=writers_by_cycle,
+            )
+            # Writers older than the slot ring can no longer receive acks
+            # that matter; prune so a long-lived worker stays bounded.
+            for old in [c for c in writers_by_cycle if c <= k - nslots]:
+                del writers_by_cycle[old]
+            results.put(
+                (
+                    "cycle", cid, k, cycle,
+                    tracer.events if tracer else [],
+                    tracer.queue_samples if tracer else [],
+                    tracer.dropped if tracer else 0,
+                )
+            )
+        if ack_thread is not None:
+            # FIFO sentinel: queued acks still get delivered first.
+            ack_queue.put(_STOP)
+            ack_thread.join()
+        results.put(("bye", cid))
+
+
+class PoolManager:
+    """Keyed cache of warm pools for a query service.
+
+    Pools are keyed by pipeline identity — the caller supplies a hashable
+    key covering (graph, placement, policy, codec), typically the tuple of
+    scene/configuration parameters that built them.  ``get`` returns the
+    warm pool on a hit and builds (cold) on a miss; at most ``max_pools``
+    stay warm, evicting least-recently-used, and ``reap_idle`` closes pools
+    idle past ``idle_timeout`` (also swept on every ``get``).
+    """
+
+    def __init__(self, max_pools: int = 4, idle_timeout: "float | None" = None):
+        if max_pools < 1:
+            raise EngineError(f"max_pools must be >= 1, got {max_pools}")
+        self.max_pools = max_pools
+        self.idle_timeout = idle_timeout
+        self._pools: "OrderedDict[Any, WarmPool]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: Any, build) -> "tuple[WarmPool, bool]":
+        """Return ``(pool, created)`` for ``key``, building on a miss.
+
+        ``created`` is True when this call cold-built the pool (the first
+        query pays fork + filter construction; subsequent ones are warm).
+        """
+        with self._lock:
+            self._reap()
+            pool = self._pools.get(key)
+            if pool is not None and pool.usable:
+                self._pools.move_to_end(key)
+                return pool, False
+            if pool is not None:
+                del self._pools[key]
+            while len(self._pools) >= self.max_pools:
+                _evicted_key, evicted = self._pools.popitem(last=False)
+                evicted.close()
+            pool = build()
+            self._pools[key] = pool
+            return pool, True
+
+    def _reap(self) -> None:
+        for key in list(self._pools):
+            pool = self._pools[key]
+            if not pool.usable:
+                del self._pools[key]
+            elif (
+                self.idle_timeout is not None
+                and pool.idle_seconds() >= self.idle_timeout
+            ):
+                pool.close()
+                del self._pools[key]
+
+    def reap_idle(self) -> None:
+        """Close and drop pools idle past ``idle_timeout`` (and dead ones)."""
+        with self._lock:
+            self._reap()
+
+    def close_all(self) -> None:
+        with self._lock:
+            for pool in self._pools.values():
+                pool.close()
+            self._pools.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {str(key): pool.stats() for key, pool in self._pools.items()}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pools)

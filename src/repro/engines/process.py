@@ -41,6 +41,7 @@ retain payload data must copy it.
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import queue as queue_mod
 import threading
 import time
@@ -112,12 +113,58 @@ class _SharedCopySetQueue:
         for _ in range(self.copies - 1):
             self.queue.put(_STOP)
 
+    def reset(self) -> None:
+        """Rearm the end-of-work counter for a new unit of work.
+
+        Only valid once the previous cycle has fully drained (every copy
+        pulled its ``STOP`` or the final marker) — the warm pool recycles
+        each slot's queues this way instead of allocating per cycle.
+        """
+        with self._lock:
+            self._eow_seen.value = 0
+
     def qsize(self) -> int:
         """Approximate depth, or -1 where the platform cannot tell."""
         try:
             return self.queue.qsize()
         except NotImplementedError:  # pragma: no cover - macOS
             return -1
+
+
+def _ack_and_release(item: "_WireEnvelope", ack_queues) -> None:
+    """Discard one in-flight envelope: acknowledge it, then free it.
+
+    The single helper behind every abandon path — the parent's dead-copy-set
+    drain and the worker's crash drain — so neither can skip the
+    ``ack_queues[...] is not None`` guard (filters whose outputs need no
+    acks have no control queue) or leak the envelope's shared-memory
+    segments.  The ack reopens DD/RATE windows so producers blocked on the
+    abandoned consumer wake up and finish.
+    """
+    if item.needs_ack and ack_queues[item.producer] is not None:
+        ack_queues[item.producer].put(
+            (item.cycle, item.stream, item.target_index, item.sent_at)
+        )
+    BufferCodec.release_encoded(item.encoded)
+
+
+def _drain_input_discarding(my_queue: "_SharedCopySetQueue", ack_queues) -> None:
+    """Crash-path consumer loop: keep the close protocol alive, discard data.
+
+    Every data item is acked-and-released through :func:`_ack_and_release`;
+    markers are still counted (and the final one fanned out) so sibling
+    copies and upstream producers never block on the failed copy.
+    """
+    while True:
+        item_in = my_queue.queue.get()
+        if item_in == _STOP:
+            return
+        if item_in == _EOW:
+            if my_queue.on_eow():
+                my_queue.finish()
+                return
+            continue
+        _ack_and_release(item_in, ack_queues)
 
 
 class _WireEnvelope:
@@ -176,24 +223,36 @@ class _Writer:
     def send(self, buffer: DataBuffer) -> Target:
         """Encode and route one buffer; blocks while DD windows are full."""
         encoded = self.codec.encode(buffer)
-        with self._cond:
-            target = self.policy.select()
-            if target is None:
-                if self.tracer:
-                    self.tracer.record(self.clock(), self.label, "blocked", "start")
-                while target is None:
-                    self._cond.wait()
-                    target = self.policy.select()
-                if self.tracer:
-                    self.tracer.record(self.clock(), self.label, "blocked", "end")
-            self.policy.on_sent(target)
-        needs_ack = self.policy.needs_ack
-        envelope = _WireEnvelope(
-            self.cycle, self.stream, self.producer_cid,
-            target.index if needs_ack else -1,
-            self.clock(), needs_ack, encoded,
-        )
-        self.copyset_queues[target.index].put(envelope)
+        try:
+            with self._cond:
+                target = self.policy.select()
+                if target is None:
+                    if self.tracer:
+                        self.tracer.record(
+                            self.clock(), self.label, "blocked", "start"
+                        )
+                    while target is None:
+                        self._cond.wait()
+                        target = self.policy.select()
+                    if self.tracer:
+                        self.tracer.record(
+                            self.clock(), self.label, "blocked", "end"
+                        )
+                self.policy.on_sent(target)
+            needs_ack = self.policy.needs_ack
+            envelope = _WireEnvelope(
+                self.cycle, self.stream, self.producer_cid,
+                target.index if needs_ack else -1,
+                self.clock(), needs_ack, encoded,
+            )
+            self.copyset_queues[target.index].put(envelope)
+        except BaseException:
+            # Abandoned mid-send — typically interrupted while blocked on a
+            # full DD window.  The segments already exist (encode runs
+            # first) and no consumer will ever see the envelope, so the
+            # sender must release them or they leak past process exit.
+            BufferCodec.release_encoded(encoded)
+            raise
         return target
 
     def deliver_ack(self, target_index: int, sent_at: float) -> None:
@@ -234,6 +293,232 @@ class _CopyReport:
     events: list = field(default_factory=list)  # TraceEvent
     queue_samples: list = field(default_factory=list)  # QueueSample
     dropped: int = 0
+
+
+def _fold_cycle(
+    metrics: RunMetrics,
+    cycle: _CycleReport,
+    filter_name: str,
+    host: str,
+    copy_index: int,
+    ack_nbytes: int,
+    time_offset: float = 0.0,
+) -> "str | None":
+    """Fold one copy's cycle report into a :class:`RunMetrics`.
+
+    Shared by the batch engine's merge and the warm pool's per-cycle merge;
+    ``time_offset`` rebases worker timestamps (engine-lifetime clock) onto a
+    per-query origin so a pooled query's makespan reads as its latency.
+    Returns the cycle's error string, if any.
+    """
+    stats = metrics.new_copy(filter_name, host, copy_index)
+    stats.buffers_in = cycle.buffers_in
+    stats.buffers_out = cycle.buffers_out
+    stats.busy_time = cycle.busy_time
+    stats.finished_at = cycle.finished_at - time_offset
+    for (stream, src, dst), (count, nbytes) in sorted(
+        cycle.stream_records.items()
+    ):
+        ss = metrics.streams[stream]
+        ss.buffers += count
+        ss.bytes += nbytes
+        ss.by_route[(src, dst)] = ss.by_route.get((src, dst), 0) + count
+        ss.by_dst_host[dst] = ss.by_dst_host.get(dst, 0) + count
+    metrics.ack_messages += cycle.ack_messages
+    metrics.ack_bytes += cycle.ack_messages * ack_nbytes
+    if cycle.has_result:
+        if metrics.result is None:
+            metrics.result = cycle.result
+        elif isinstance(metrics.result, list):
+            metrics.result.append(cycle.result)
+        else:
+            metrics.result = [metrics.result, cycle.result]
+    return cycle.error
+
+
+def _start_ack_drain(ack_queue, writers_by_cycle) -> threading.Thread:
+    """Start the producer-side ack-drain thread.
+
+    Applies consumer acknowledgments to the right cycle's writer; acks for
+    a cycle whose writers are gone (finished batch cycle, recycled pool
+    slot) are dropped harmlessly.  Stops on the FIFO ``_STOP`` sentinel so
+    acks already queued still get delivered (and traced) first.
+    """
+
+    def _ack_loop():
+        while True:
+            msg = ack_queue.get()
+            if msg == _STOP:
+                break
+            k, stream, target_index, sent_at = msg
+            writer = writers_by_cycle.get(k, {}).get(stream)
+            if writer is not None:
+                writer.deliver_ack(target_index, sent_at)
+
+    thread = threading.Thread(target=_ack_loop, daemon=True)
+    thread.start()
+    return thread
+
+
+def _execute_cycle(
+    *,
+    spec,
+    host: str,
+    copy_index: int,
+    copies_on_host: int,
+    total: int,
+    cid: int,
+    k: int,
+    uow,
+    instance: "Filter | None",
+    build_error: "str | None",
+    my_queue: _SharedCopySetQueue,
+    out_queues: "dict[str, list[_SharedCopySetQueue]]",
+    out_hosts: "dict[str, list[str]]",
+    policy_for,
+    codec: BufferCodec,
+    ack_queues,
+    tracer: "Tracer | None",
+    clock,
+    label: str,
+    writers_by_cycle: "dict[int, dict[str, _Writer]]",
+) -> _CycleReport:
+    """Run one unit of work through one copy, inside its worker process.
+
+    The whole cycle protocol lives here — writers, init/handle/flush/
+    finalize, end-of-work announcement, crash drain — so the batch engine
+    (cycles known up front) and the warm pool (cycles arriving over control
+    queues) execute identically.  ``k`` is the global cycle number; for the
+    pool, ``my_queue``/``out_queues`` are the slot ``k % nslots``.
+    """
+    cycle = _CycleReport()
+    announced = False
+    input_done = False
+    try:
+        if instance is None:
+            raise EngineError(
+                build_error or f"filter {spec.name!r} failed to build"
+            )
+        writers = {
+            st.name: _Writer(
+                host,
+                policy_for(st.name)(),
+                out_queues[st.name],
+                out_hosts[st.name],
+                label=label,
+                clock=clock,
+                tracer=tracer,
+                codec=codec,
+                producer_cid=cid,
+                cycle=k,
+                stream=st.name,
+            )
+            for st in spec.outputs
+        }
+        writers_by_cycle[k] = writers
+
+        def write_fn(stream, buffer, _w=writers, _c=cycle):
+            target = _w[stream].send(buffer)
+            _c.buffers_out += 1
+            key = (stream, host, target.host)
+            entry = _c.stream_records.setdefault(key, [0, 0])
+            entry[0] += 1
+            entry[1] += buffer.nbytes
+            if tracer:
+                tracer.record(
+                    clock(), label, "send", f"{stream}->{target.host}"
+                )
+
+        ctx = FilterContext(
+            filter_name=spec.name,
+            host=host,
+            copy_index=copy_index,
+            copies_on_host=copies_on_host,
+            total_copies=total,
+            output_streams=[st.name for st in spec.outputs],
+            write_fn=write_fn,
+            uow=uow,
+        )
+        instance.init(ctx)
+        busy = 0.0
+        if spec.inputs:
+            while True:
+                item_in = my_queue.queue.get()
+                if item_in == _STOP:
+                    input_done = True
+                    break
+                if item_in == _EOW:
+                    if my_queue.on_eow():
+                        my_queue.finish()
+                        input_done = True
+                        break
+                    continue
+                wire: _WireEnvelope = item_in
+                cycle.buffers_in += 1
+                if tracer:
+                    tracer.record(clock(), label, "recv", wire.stream)
+                    depth = my_queue.qsize()
+                    if depth >= 0:
+                        tracer.sample_queue(
+                            clock(), f"{spec.name}@{host}", depth
+                        )
+                if wire.needs_ack:
+                    cycle.ack_messages += 1
+                    ack_queues[wire.producer].put(
+                        (wire.cycle, wire.stream, wire.target_index,
+                         wire.sent_at)
+                    )
+                buffer, lease = codec.decode(wire.encoded)
+                t0 = time.perf_counter()
+                if tracer:
+                    tracer.record(clock(), label, "compute", "start")
+                try:
+                    instance.handle(ctx, buffer)
+                finally:
+                    # Always, even when handle() raises: the lease holds the
+                    # decoded shared-memory segment, and an abandoned one
+                    # survives process exit.
+                    lease.release()
+                busy += time.perf_counter() - t0
+                if tracer:
+                    tracer.record(clock(), label, "compute", "end")
+        t0 = time.perf_counter()
+        if tracer:
+            tracer.record(clock(), label, "flush", "start")
+        instance.flush(ctx)
+        busy += time.perf_counter() - t0
+        if tracer:
+            tracer.record(clock(), label, "flush", "end")
+        cycle.busy_time = busy
+        instance.finalize(ctx)
+        for st in spec.outputs:
+            for q in out_queues[st.name]:
+                q.producer_finished()
+        announced = True
+        if not spec.outputs:
+            value = getattr(instance, "result", lambda: None)()
+            if value is not None:
+                cycle.result = value
+                cycle.has_result = True
+        if tracer:
+            tracer.record(clock(), label, "done", f"cycle={k}")
+    except BaseException:  # noqa: BLE001 - surfaced via the report
+        cycle.error = f"{label} cycle {k}: {traceback.format_exc()}"
+        # Keep participating in the close protocol so upstream puts never
+        # block on a dead consumer.  Skipped if our part of the stream
+        # already closed (error after the loop).
+        if spec.inputs and not input_done:
+            _drain_input_discarding(my_queue, ack_queues)
+    finally:
+        if not announced:
+            for st in spec.outputs:
+                for q in out_queues[st.name]:
+                    try:
+                        q.producer_finished()
+                    except BaseException:
+                        pass
+        cycle.finished_at = clock()
+    return cycle
 
 
 class ProcessEngine(Engine):
@@ -430,16 +715,27 @@ class ProcessEngine(Engine):
         producers blocked on a queue nobody drains.  The parent holds every
         queue handle, so it announces EOW on the dead copy's behalf and
         drains copy sets whose members are all gone.
+
+        While every worker is healthy the supervisor blocks in
+        ``multiprocessing.connection.wait`` on the process sentinels — one
+        poll(2) that sleeps in the kernel until a worker actually exits,
+        instead of a 10 ms ``is_alive`` loop burning a core per run.  Only
+        after a crash, while fully-dead copy sets may still receive traffic
+        from surviving producers, does the wait take a short timeout so the
+        drain sweeps keep running.
         """
         by_cid = {item[0]: item for item in plan}
         live = dict(procs)
+        sentinels = {p.sentinel: c for c, p in procs.items()}
         crashes = []
         dead_cids: set[int] = set()
         while live:
-            finished = [c for c, p in live.items() if not p.is_alive()]
-            if not finished:
-                time.sleep(0.01)
-            for c in finished:
+            ready = multiprocessing.connection.wait(
+                [p.sentinel for p in live.values()],
+                timeout=0.05 if dead_cids else None,
+            )
+            for sentinel in ready:
+                c = sentinels[sentinel]
                 proc = live.pop(c)
                 proc.join()
                 if proc.exitcode != 0:
@@ -483,12 +779,7 @@ class ProcessEngine(Engine):
                         break
                     if item == _STOP or item == _EOW:
                         continue
-                    if item.needs_ack and ack_queues[item.producer] is not None:
-                        ack_queues[item.producer].put(
-                            (item.cycle, item.stream, item.target_index,
-                             item.sent_at)
-                        )
-                    BufferCodec.release_encoded(item.encoded)
+                    _ack_and_release(item, ack_queues)
 
     def _merge(self, reports, plan, uows, crashes, tracer):
         """Fold worker reports into per-cycle RunMetrics and the tracer."""
@@ -504,35 +795,12 @@ class ProcessEngine(Engine):
             )
         for report in sorted(reports, key=lambda r: r.cid):
             for k, cycle in enumerate(report.cycles[:ncycles]):
-                metrics = metrics_list[k]
-                stats = metrics.new_copy(
-                    report.filter_name, report.host, report.copy_index
+                error = _fold_cycle(
+                    metrics_list[k], cycle, report.filter_name, report.host,
+                    report.copy_index, self.ack_nbytes,
                 )
-                stats.buffers_in = cycle.buffers_in
-                stats.buffers_out = cycle.buffers_out
-                stats.busy_time = cycle.busy_time
-                stats.finished_at = cycle.finished_at
-                for (stream, src, dst), (count, nbytes) in sorted(
-                    cycle.stream_records.items()
-                ):
-                    ss = metrics.streams[stream]
-                    ss.buffers += count
-                    ss.bytes += nbytes
-                    ss.by_route[(src, dst)] = (
-                        ss.by_route.get((src, dst), 0) + count
-                    )
-                    ss.by_dst_host[dst] = ss.by_dst_host.get(dst, 0) + count
-                metrics.ack_messages += cycle.ack_messages
-                metrics.ack_bytes += cycle.ack_messages * self.ack_nbytes
-                if cycle.has_result:
-                    if metrics.result is None:
-                        metrics.result = cycle.result
-                    elif isinstance(metrics.result, list):
-                        metrics.result.append(cycle.result)
-                    else:
-                        metrics.result = [metrics.result, cycle.result]
-                if cycle.error:
-                    errors.append(cycle.error)
+                if error:
+                    errors.append(error)
         for k, metrics in enumerate(metrics_list):
             metrics.makespan = max(
                 (c.finished_at for c in metrics.copies), default=0.0
@@ -551,7 +819,12 @@ class ProcessEngine(Engine):
                 tracer.sample_queue(sample.time, sample.queue, sample.depth)
             tracer.dropped += sum(r.dropped for r in reports)
         if errors:
-            raise EngineError(f"filter copy failed: {errors[0]}")
+            # Healthy cycles merged fine; hand their metrics to the caller
+            # alongside every error instead of discarding the batch.
+            raise EngineError(
+                f"filter copy failed: {errors[0]}",
+                metrics=metrics_list, errors=errors,
+            )
         return metrics_list
 
     # -- the worker (child process) ------------------------------------------
@@ -582,18 +855,7 @@ class ProcessEngine(Engine):
         ack_queue = ack_queues[cid]
         ack_thread = None
         if ack_queue is not None:
-            def _ack_loop():
-                while True:
-                    msg = ack_queue.get()
-                    if msg == _STOP:
-                        break
-                    k, stream, target_index, sent_at = msg
-                    writer = writers_by_cycle.get(k, {}).get(stream)
-                    if writer is not None:
-                        writer.deliver_ack(target_index, sent_at)
-
-            ack_thread = threading.Thread(target=_ack_loop, daemon=True)
-            ack_thread.start()
+            ack_thread = _start_ack_drain(ack_queue, writers_by_cycle)
 
         try:
             instance: Filter | None = spec.factory()
@@ -603,149 +865,35 @@ class ProcessEngine(Engine):
             build_error = f"filter {spec.name!r} failed to build: {exc!r}"
 
         for k, uow in enumerate(uows):
-            cycle = _CycleReport()
-            report.cycles.append(cycle)
-            announced = False
-            input_done = False
-            try:
-                if instance is None:
-                    raise EngineError(
-                        build_error or f"filter {spec.name!r} failed to build"
-                    )
-                writers = {
-                    st.name: _Writer(
-                        host,
-                        self._policy_for(st.name)(),
-                        [sets[k] for sets in copysets[st.dst]],
-                        copyset_hosts[st.dst],
-                        label=label,
-                        clock=clock,
-                        tracer=tracer,
-                        codec=codec,
-                        producer_cid=cid,
-                        cycle=k,
-                        stream=st.name,
-                    )
-                    for st in spec.outputs
-                }
-                writers_by_cycle[k] = writers
-
-                def write_fn(stream, buffer, _w=writers, _c=cycle):
-                    target = _w[stream].send(buffer)
-                    _c.buffers_out += 1
-                    key = (stream, host, target.host)
-                    entry = _c.stream_records.setdefault(key, [0, 0])
-                    entry[0] += 1
-                    entry[1] += buffer.nbytes
-                    if tracer:
-                        tracer.record(
-                            clock(), label, "send", f"{stream}->{target.host}"
-                        )
-
-                ctx = FilterContext(
-                    filter_name=spec.name,
+            report.cycles.append(
+                _execute_cycle(
+                    spec=spec,
                     host=host,
                     copy_index=copy_index,
                     copies_on_host=copies_on_host,
-                    total_copies=total,
-                    output_streams=[st.name for st in spec.outputs],
-                    write_fn=write_fn,
+                    total=total,
+                    cid=cid,
+                    k=k,
                     uow=uow,
+                    instance=instance,
+                    build_error=build_error,
+                    my_queue=copysets[spec.name][set_idx][k],
+                    out_queues={
+                        st.name: [sets[k] for sets in copysets[st.dst]]
+                        for st in spec.outputs
+                    },
+                    out_hosts={
+                        st.name: copyset_hosts[st.dst] for st in spec.outputs
+                    },
+                    policy_for=self._policy_for,
+                    codec=codec,
+                    ack_queues=ack_queues,
+                    tracer=tracer,
+                    clock=clock,
+                    label=label,
+                    writers_by_cycle=writers_by_cycle,
                 )
-                instance.init(ctx)
-                busy = 0.0
-                my_queue = copysets[spec.name][set_idx][k]
-                if spec.inputs:
-                    while True:
-                        item_in = my_queue.queue.get()
-                        if item_in == _STOP:
-                            input_done = True
-                            break
-                        if item_in == _EOW:
-                            if my_queue.on_eow():
-                                my_queue.finish()
-                                input_done = True
-                                break
-                            continue
-                        wire: _WireEnvelope = item_in
-                        cycle.buffers_in += 1
-                        if tracer:
-                            tracer.record(clock(), label, "recv", wire.stream)
-                            depth = my_queue.qsize()
-                            if depth >= 0:
-                                tracer.sample_queue(
-                                    clock(), f"{spec.name}@{host}", depth
-                                )
-                        if wire.needs_ack:
-                            cycle.ack_messages += 1
-                            ack_queues[wire.producer].put(
-                                (wire.cycle, wire.stream, wire.target_index,
-                                 wire.sent_at)
-                            )
-                        buffer, lease = codec.decode(wire.encoded)
-                        t0 = time.perf_counter()
-                        if tracer:
-                            tracer.record(clock(), label, "compute", "start")
-                        instance.handle(ctx, buffer)
-                        busy += time.perf_counter() - t0
-                        if tracer:
-                            tracer.record(clock(), label, "compute", "end")
-                        lease.release()
-                t0 = time.perf_counter()
-                if tracer:
-                    tracer.record(clock(), label, "flush", "start")
-                instance.flush(ctx)
-                busy += time.perf_counter() - t0
-                if tracer:
-                    tracer.record(clock(), label, "flush", "end")
-                cycle.busy_time = busy
-                instance.finalize(ctx)
-                for st in spec.outputs:
-                    for sets in copysets[st.dst]:
-                        sets[k].producer_finished()
-                announced = True
-                if not spec.outputs:
-                    value = getattr(instance, "result", lambda: None)()
-                    if value is not None:
-                        cycle.result = value
-                        cycle.has_result = True
-                if tracer:
-                    tracer.record(clock(), label, "done", f"cycle={k}")
-            except BaseException:  # noqa: BLE001 - surfaced via the report
-                cycle.error = (
-                    f"{label} cycle {k}: {traceback.format_exc()}"
-                )
-                # Keep participating in the close protocol so upstream
-                # puts never block on a dead consumer: discard data (ack it
-                # and free its segments), count markers, stop on STOP or on
-                # pulling the final marker ourselves.  Skipped if our part
-                # of the stream already closed (error after the loop).
-                if spec.inputs and not input_done:
-                    my_queue = copysets[spec.name][set_idx][k]
-                    while True:
-                        item_in = my_queue.queue.get()
-                        if item_in == _STOP:
-                            break
-                        if item_in == _EOW:
-                            if my_queue.on_eow():
-                                my_queue.finish()
-                                break
-                            continue
-                        if item_in.needs_ack:
-                            ack_queues[item_in.producer].put(
-                                (item_in.cycle, item_in.stream,
-                                 item_in.target_index, item_in.sent_at)
-                            )
-                        BufferCodec.release_encoded(item_in.encoded)
-            finally:
-                if not announced:
-                    for st in spec.outputs:
-                        for sets in copysets[st.dst]:
-                            try:
-                                sets[k].producer_finished()
-                            except BaseException:
-                                pass
-                cycle.finished_at = clock()
+            )
 
         if ack_thread is not None:
             # FIFO sentinel: acks already queued still get delivered (and

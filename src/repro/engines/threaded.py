@@ -426,8 +426,15 @@ class ThreadedEngine(Engine):
             thread.start()
         for thread in threads:
             thread.join()
-        if errors:
-            raise EngineError(f"filter copy failed: {errors[0]!r}") from errors[0]
         for k, metrics in enumerate(metrics_list):
             metrics.makespan = finished_at[k]
+        if errors:
+            # Healthy cycles finished and folded their stats; ship the
+            # partial per-cycle metrics with every error (same contract as
+            # the process engine) instead of discarding the batch.
+            raise EngineError(
+                f"filter copy failed: {errors[0]!r}",
+                metrics=metrics_list,
+                errors=[f"{type(e).__name__}: {e}" for e in errors],
+            ) from errors[0]
         return metrics_list

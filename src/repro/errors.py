@@ -40,7 +40,30 @@ class StreamClosedError(ReproError):
 
 
 class EngineError(ReproError):
-    """Errors raised by an execution engine while running a filter graph."""
+    """Errors raised by an execution engine while running a filter graph.
+
+    When a multi-UOW run fails part-way, engines attach the partial
+    per-cycle metrics and every collected error so callers (``repro
+    serve``, the warm pool) can fail one query without losing the batch:
+
+    ``metrics``
+        One ``RunMetrics`` per submitted unit of work, fully merged for
+        healthy cycles (empty when the failure predates any merge).
+    ``errors``
+        Human-readable strings, one per failed copy/cycle, in collection
+        order; the exception message quotes the first.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        metrics: list[object] | None = None,
+        errors: list[str] | None = None,
+    ):
+        super().__init__(message)
+        self.metrics: list[object] = metrics if metrics is not None else []
+        self.errors: list[str] = errors if errors is not None else []
 
 
 class DataError(ReproError):

@@ -1,0 +1,365 @@
+"""``repro serve``: a long-lived isosurface query service on warm pools.
+
+The paper's pipelines are meant to serve interactive exploration — "the
+client specifies a region of interest, an isovalue and a viewing screen" —
+but the batch engines cold-spawn every process per run.  This module turns
+the real pipeline into a query service in the paper's client/server
+shape: a thin asyncio frontend accepts JSON queries over TCP, multiplexes
+them onto :class:`~repro.engines.pool.WarmPool` pipelines kept warm
+between queries, and returns rendered frames.
+
+Protocol: newline-delimited JSON, one request per line, one response per
+line (stdlib only — no HTTP).  Requests::
+
+    {"cmd": "query", "isovalue": 0.4, "timestep": 1,
+     "view": {"azimuth": 60, "elevation": 30}, "trace": false}
+    {"cmd": "ping"} | {"cmd": "stats"} | {"cmd": "shutdown"}
+
+``cmd`` defaults to ``"query"``.  A query response carries the frame as a
+base64 PPM (``frame_b64``), per-query latency, stream/ack totals and a
+``warm`` flag (False when this query cold-built its pool).  Admission is
+bounded: beyond ``admission_limit`` concurrently running queries the server
+answers ``{"ok": false, "rejected": true}`` immediately instead of queueing
+without bound.
+
+Query → pipeline binding: the (scene, configuration, algorithm, image
+size, policy, copies) tuple keys the pool — those parameters are baked
+into filter instances at construction.  The per-query knobs (isovalue,
+timestep, camera orbit) ride the unit of work and are honoured by the viz
+filters via their ``ctx.uow`` overrides, so successive queries reuse the
+same warm processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.engines.pool import PoolManager, WarmPool
+from repro.errors import ConfigurationError, EngineError, ReproError
+
+__all__ = ["QueryService", "SceneSpec", "ppm_bytes", "run_server"]
+
+CONFIGURATIONS = ("R-E-Ra-M", "RE-Ra-M", "R-ERa-M", "RERa-M")
+
+
+def ppm_bytes(image) -> bytes:
+    """Serialise an (H, W, 3) uint8 image as binary PPM (P6)."""
+    height, width = image.shape[:2]
+    return f"P6 {width} {height} 255\n".encode() + image.tobytes()
+
+
+@dataclass(frozen=True)
+class SceneSpec:
+    """One servable dataset: the quickstart scene's knobs, named.
+
+    The service generates the ParSSim dataset in memory at first use and
+    declusters it over one host — the serving testbed is a single machine,
+    where transparent copies (one process each) supply the parallelism.
+    """
+
+    name: str
+    grid: int = 33
+    timesteps: int = 3
+    species: int = 2
+    nchunks: int = 27
+    nfiles: int = 8
+    seed: int = 7
+    isovalue: float = 0.35
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.grid, self.grid, self.grid)
+
+
+class QueryService:
+    """Render isosurface queries on pooled pipelines.
+
+    ``render`` is synchronous and thread-safe — the asyncio frontend calls
+    it through an executor.  Pools are cached in a
+    :class:`~repro.engines.pool.PoolManager` keyed by pipeline identity;
+    the first query for a key pays the cold build (fork + filter
+    construction), subsequent ones run warm.
+    """
+
+    def __init__(
+        self,
+        scenes: "list[SceneSpec] | None" = None,
+        config: str = "RE-Ra-M",
+        algorithm: str = "active",
+        width: int = 256,
+        height: int = 256,
+        policy: str = "DD",
+        copies: int = 2,
+        max_pools: int = 4,
+        max_inflight: int = 2,
+        pool_idle_timeout: "float | None" = 300.0,
+    ):
+        if config not in CONFIGURATIONS:
+            raise ConfigurationError(
+                f"config must be one of {CONFIGURATIONS}, got {config!r}"
+            )
+        scenes = scenes or [SceneSpec("default")]
+        self.scenes = {scene.name: scene for scene in scenes}
+        self.default_scene = scenes[0].name
+        self.config = config
+        self.algorithm = algorithm
+        self.width = width
+        self.height = height
+        self.policy = policy
+        self.copies = copies
+        self.max_inflight = max_inflight
+        self.pools = PoolManager(
+            max_pools=max_pools, idle_timeout=pool_idle_timeout
+        )
+        self.queries_served = 0
+        self.queries_failed = 0
+        self._count_lock = threading.Lock()
+
+    # -- pipeline construction ----------------------------------------------
+    def _build_pool(
+        self, scene: SceneSpec, config: str, algorithm: str,
+        width: int, height: int,
+    ) -> WarmPool:
+        from repro.data import HostDisks, ParSSimDataset, StorageMap
+        from repro.viz import IsosurfaceApp
+        from repro.viz.profile import DatasetProfile
+
+        dataset = ParSSimDataset(
+            scene.shape, timesteps=scene.timesteps, species=scene.species,
+            seed=scene.seed,
+        )
+        profile = DatasetProfile.measured(
+            scene.name, dataset, nchunks=scene.nchunks, nfiles=scene.nfiles,
+            isovalue=scene.isovalue,
+        )
+        storage = StorageMap.balanced(profile.files, [HostDisks("host0")])
+        app = IsosurfaceApp(
+            profile,
+            storage,
+            width=width,
+            height=height,
+            algorithm=algorithm,
+            dataset=dataset,
+            isovalue=scene.isovalue,
+        )
+        return WarmPool(
+            app.graph(config),
+            app.placement(config, copies_per_host=self.copies),
+            policy=self.policy,
+            max_inflight=self.max_inflight,
+        )
+
+    # -- queries -------------------------------------------------------------
+    def render(self, request: "dict[str, Any]") -> "dict[str, Any]":
+        """Execute one query; returns the JSON-serialisable response dict.
+
+        Raises :class:`~repro.errors.ReproError` on invalid requests or
+        pipeline failures — the server wraps those into error responses.
+        """
+        from repro.core.tracing import Tracer
+        from repro.viz.camera import Camera
+
+        t0 = time.perf_counter()
+        scene_name = str(request.get("dataset", self.default_scene))
+        scene = self.scenes.get(scene_name)
+        if scene is None:
+            raise ConfigurationError(
+                f"unknown dataset {scene_name!r}; have "
+                f"{sorted(self.scenes)}"
+            )
+        config = str(request.get("config", self.config))
+        if config not in CONFIGURATIONS:
+            raise ConfigurationError(
+                f"config must be one of {CONFIGURATIONS}, got {config!r}"
+            )
+        algorithm = str(request.get("algorithm", self.algorithm))
+        width = int(request.get("width", self.width))
+        height = int(request.get("height", self.height))
+        isovalue = float(request.get("isovalue", scene.isovalue))
+        timestep = int(request.get("timestep", 0))
+        if not 0 <= timestep < scene.timesteps:
+            raise ConfigurationError(
+                f"timestep {timestep} out of range for {scene_name!r} "
+                f"(has {scene.timesteps})"
+            )
+        uow: dict[str, Any] = {"isovalue": isovalue, "timestep": timestep}
+        view = request.get("view")
+        if view:
+            uow["camera"] = Camera.orbit(
+                scene.shape,
+                azimuth_deg=float(view.get("azimuth", 30.0)),
+                elevation_deg=float(view.get("elevation", 25.0)),
+                width=width,
+                height=height,
+            )
+
+        key = (scene_name, config, algorithm, width, height,
+               self.policy, self.copies)
+        pool, created = self.pools.get(
+            key,
+            lambda: self._build_pool(scene, config, algorithm, width, height),
+        )
+        tracer = Tracer() if request.get("trace") else None
+        try:
+            metrics = pool.submit(uow, tracer=tracer).result()
+        except EngineError:
+            with self._count_lock:
+                self.queries_failed += 1
+            raise
+        result = metrics.result
+        latency = time.perf_counter() - t0
+        with self._count_lock:
+            self.queries_served += 1
+        response: dict[str, Any] = {
+            "ok": True,
+            "dataset": scene_name,
+            "config": config,
+            "algorithm": algorithm,
+            "width": width,
+            "height": height,
+            "isovalue": isovalue,
+            "timestep": timestep,
+            "warm": not created,
+            "pool_cycle": pool.cycles_completed,
+            "latency_s": round(latency, 6),
+            "makespan_s": round(metrics.makespan, 6),
+            "active_pixels": result.active_pixels,
+            "buffers_merged": result.buffers_merged,
+            "acks": metrics.ack_messages,
+            "streams": {
+                name: [stats.buffers, stats.bytes]
+                for name, stats in sorted(metrics.streams.items())
+            },
+            "frame_b64": base64.b64encode(ppm_bytes(result.image)).decode(),
+        }
+        if view:
+            response["view"] = {
+                "azimuth": float(view.get("azimuth", 30.0)),
+                "elevation": float(view.get("elevation", 25.0)),
+            }
+        if tracer is not None:
+            response["trace"] = {
+                "events": len(tracer.events),
+                "queue_samples": len(tracer.queue_samples),
+                "dropped": tracer.dropped,
+            }
+        return response
+
+    def stats(self) -> "dict[str, Any]":
+        with self._count_lock:
+            served, failed = self.queries_served, self.queries_failed
+        return {
+            "scenes": sorted(self.scenes),
+            "config": self.config,
+            "algorithm": self.algorithm,
+            "queries_served": served,
+            "queries_failed": failed,
+            "pools": self.pools.stats(),
+        }
+
+    def close(self) -> None:
+        self.pools.close_all()
+
+
+# -- the asyncio frontend ----------------------------------------------------
+async def _serve(
+    service: QueryService,
+    host: str,
+    port: int,
+    admission_limit: int,
+    ready: "Callable[[int], None] | None",
+) -> None:
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    inflight = 0  # touched only on the event loop: no lock needed
+
+    async def handle(reader, writer):
+        try:
+            await _handle_connection(reader, writer)
+        except (asyncio.CancelledError, ConnectionError):
+            pass  # client gone or server shutting down mid-read
+        finally:
+            writer.close()
+
+    async def _handle_connection(reader, writer):
+        nonlocal inflight
+        while not stop.is_set():
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                request = json.loads(line)
+                if not isinstance(request, dict):
+                    raise ValueError("request must be a JSON object")
+            except ValueError as exc:
+                response = {"ok": False, "error": f"bad request: {exc}"}
+            else:
+                cmd = request.get("cmd", "query")
+                if cmd == "ping":
+                    response = {"ok": True, "pong": True}
+                elif cmd == "stats":
+                    response = {"ok": True, "stats": service.stats()}
+                elif cmd == "shutdown":
+                    response = {"ok": True, "bye": True}
+                    stop.set()
+                elif cmd == "query":
+                    if inflight >= admission_limit:
+                        response = {
+                            "ok": False,
+                            "rejected": True,
+                            "error": (
+                                f"server busy: {inflight} queries in flight "
+                                f"(admission limit {admission_limit})"
+                            ),
+                        }
+                    else:
+                        inflight += 1
+                        try:
+                            response = await loop.run_in_executor(
+                                None, service.render, request
+                            )
+                        except ReproError as exc:
+                            response = {"ok": False, "error": str(exc)}
+                        finally:
+                            inflight -= 1
+                else:
+                    response = {"ok": False, "error": f"unknown cmd {cmd!r}"}
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+
+    server = await asyncio.start_server(handle, host, port)
+    bound_port = server.sockets[0].getsockname()[1]
+    if ready is not None:
+        ready(bound_port)
+    print(
+        f"repro serve: listening on {host}:{bound_port} "
+        f"(scenes: {', '.join(sorted(service.scenes))})",
+        flush=True,
+    )
+    async with server:
+        await stop.wait()
+
+
+def run_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    admission_limit: int = 8,
+    ready: "Callable[[int], None] | None" = None,
+) -> None:
+    """Run the service until a ``shutdown`` command arrives.
+
+    ``port=0`` binds an ephemeral port; ``ready`` (if given) receives the
+    bound port once the server is accepting — used by tests and scripted
+    clients to avoid races.
+    """
+    try:
+        asyncio.run(_serve(service, host, port, admission_limit, ready))
+    finally:
+        service.close()

@@ -159,6 +159,34 @@ class Camera:
         return screen[keep], keep
 
     @classmethod
+    def orbit(
+        cls,
+        shape: tuple[int, int, int],
+        azimuth_deg: float = 30.0,
+        elevation_deg: float = 25.0,
+        width: int = 512,
+        height: int = 512,
+        margin: float = 1.1,
+    ) -> "Camera":
+        """A camera orbiting a (nz, ny, nx) grid's centre.
+
+        Spherical angles instead of a raw direction vector — the view
+        parametrisation ``repro serve`` exposes to queries: azimuth rotates
+        about the world z axis (degrees, 0 = +x), elevation tilts up from
+        the xy plane.  Framing matches :meth:`fit_grid`.
+        """
+        az = np.radians(azimuth_deg)
+        el = np.radians(float(np.clip(elevation_deg, -89.0, 89.0)))
+        direction = (
+            float(np.cos(el) * np.cos(az)),
+            float(np.cos(el) * np.sin(az)),
+            float(np.sin(el)),
+        )
+        return cls.fit_grid(
+            shape, width, height, direction=direction, margin=margin
+        )
+
+    @classmethod
     def fit_grid(
         cls,
         shape: tuple[int, int, int],

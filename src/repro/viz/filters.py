@@ -134,7 +134,12 @@ class ReadFilter(Filter):
 
 
 class ExtractFilter(Filter):
-    """E: marching cubes over each incoming chunk."""
+    """E: marching cubes over each incoming chunk.
+
+    The isovalue may be overridden per unit of work via
+    ``ctx.uow["isovalue"]`` — this is how ``repro serve`` binds a query's
+    isovalue onto a warm pipeline.
+    """
 
     def __init__(self, isovalue: float):
         self.isovalue = isovalue
@@ -144,7 +149,7 @@ class ExtractFilter(Filter):
         payload: ChunkPayload = buffer.payload
         tris = extract_triangles(
             payload.scalars,
-            self.isovalue,
+            _uow_get(ctx, "isovalue", self.isovalue),
             origin=_chunk_world_origin(payload.chunk),
         )
         if len(tris) == 0:
@@ -301,13 +306,14 @@ class ReadExtractFilter(Filter):
         """End-of-work processing (see Filter.flush)."""
         timestep = _uow_get(ctx, "timestep", self.read.timestep)
         species = _uow_get(ctx, "species", self.read.species)
+        isovalue = _uow_get(ctx, "isovalue", self.isovalue)
         for data_file, _disk in _copy_files(self.read.storage, ctx):
             for chunk in data_file.chunks:
                 scalars = self.read.dataset.chunk_field(
                     chunk, timestep, species
                 )
                 tris = extract_triangles(
-                    scalars, self.isovalue, origin=_chunk_world_origin(chunk)
+                    scalars, isovalue, origin=_chunk_world_origin(chunk)
                 )
                 if len(tris) == 0:
                     continue
@@ -341,14 +347,16 @@ class ExtractRasterFilter(Filter):
         else:
             self._raster = RasterAPFilter(self.camera)
         self._raster.init(ctx)
-        self._extract = ExtractFilter(self.isovalue)
+        # Latched per cycle, like the raster camera: one isovalue per
+        # unit of work, stable across all of the cycle's chunks.
+        self._active_iso = _uow_get(ctx, "isovalue", self.isovalue)
 
     def handle(self, ctx: FilterContext, buffer: DataBuffer) -> None:
         """Process one input buffer (see Filter.handle)."""
         payload: ChunkPayload = buffer.payload
         tris = extract_triangles(
             payload.scalars,
-            self.isovalue,
+            self._active_iso,
             origin=_chunk_world_origin(payload.chunk),
         )
         if len(tris) == 0:
@@ -402,11 +410,12 @@ class ReadExtractRasterFilter(Filter):
         """End-of-work processing (see Filter.flush)."""
         timestep = _uow_get(ctx, "timestep", self.timestep)
         species = _uow_get(ctx, "species", self.species)
+        isovalue = _uow_get(ctx, "isovalue", self.isovalue)
         for data_file, _disk in _copy_files(self.storage, ctx):
             for chunk in data_file.chunks:
                 scalars = self.dataset.chunk_field(chunk, timestep, species)
                 tris = extract_triangles(
-                    scalars, self.isovalue, origin=_chunk_world_origin(chunk)
+                    scalars, isovalue, origin=_chunk_world_origin(chunk)
                 )
                 if len(tris) == 0:
                     continue

@@ -272,3 +272,72 @@ def test_repo_filter_modules_lint_clean():
         diags = lint_file(path)
         errors = [d for d in diags if d.severity is Severity.ERROR]
         assert not errors, f"{path}: {[str(d) for d in errors]}"
+
+
+def test_c605_accumulator_never_reset():
+    diags = lint(
+        """
+        class Leaky(Filter):
+            def __init__(self):
+                self.seen = []
+                self.total = 0
+
+            def handle(self, ctx, buffer):
+                self.seen.append(buffer)
+                self.total += 1
+                ctx.write(buffer)
+        """
+    )
+    assert rules_of(diags) == {"C605"}
+    subjects = {d.subject for d in diags if d.rule == "C605"}
+    assert subjects == {"Leaky.seen", "Leaky.total"}
+
+
+def test_c605_flagged_when_only_init_dunder_resets():
+    # __init__ runs once per copy lifetime; cycle reuse still leaks.
+    diags = lint(
+        """
+        class FlushLeaky(Filter):
+            def flush(self, ctx):
+                self.emitted += 1
+                ctx.write(DataBuffer(8, payload=self.emitted))
+        """
+    )
+    assert rules_of(diags) == {"C605"}
+
+
+def test_c605_silent_when_init_resets():
+    diags = lint(
+        """
+        class Clean(Filter):
+            def init(self, ctx):
+                self.seen = []
+                self.total = 0
+
+            def handle(self, ctx, buffer):
+                self.seen.append(buffer)
+                self.total += 1
+                ctx.write(buffer)
+        """
+    )
+    assert "C605" not in rules_of(diags)
+
+
+def test_c605_honours_init_reset_helpers_and_clear():
+    diags = lint(
+        """
+        class Delegating(Filter):
+            def init(self, ctx):
+                self._reset()
+                self.cache.clear()
+
+            def _reset(self):
+                self.total = 0
+
+            def handle(self, ctx, buffer):
+                self.total += 1
+                self.cache.update({buffer.nbytes: buffer})
+                ctx.write(buffer)
+        """
+    )
+    assert "C605" not in rules_of(diags)

@@ -254,3 +254,71 @@ def test_validate_catches_cooked_books():
     metrics.ack_bytes += 1  # cook the ack ledger
     with pytest.raises(MetricsError, match="ack_bytes"):
         metrics.validate(graph)
+
+
+# -- partial metrics on failed batches ----------------------------------------
+class FragileWorker(Filter):
+    """Doubles payloads; refuses the unit of work that says so."""
+
+    def init(self, ctx):
+        if ctx.uow == "bad":
+            raise RuntimeError("boom uow")
+
+    def handle(self, ctx, buffer):
+        ctx.write(DataBuffer(NBYTES, payload=buffer.payload * 2))
+
+
+class ResettingSink(Filter):
+    def init(self, ctx):
+        self.total = 0
+
+    def handle(self, ctx, buffer):
+        self.total += buffer.payload
+
+    def result(self):
+        return self.total
+
+
+def test_partial_metrics_on_failed_batch_parity():
+    """One bad cycle must not discard the healthy cycles' metrics.
+
+    Both real engines attach one RunMetrics per unit of work — healthy
+    cycles fully merged — plus every collected error to the EngineError,
+    and they agree on all of it.
+    """
+    from repro.errors import EngineError
+
+    uows = ["a", "bad", "c"]
+    per_engine = {}
+    for name, engine_cls in (
+        ("threaded", ThreadedEngine), ("process", ProcessEngine)
+    ):
+        g = FilterGraph()
+        g.add_filter("src", factory=RealSource, is_source=True)
+        g.add_filter("work", factory=FragileWorker)
+        g.add_filter("sink", factory=ResettingSink)
+        g.connect("src", "work")
+        g.connect("work", "sink")
+        engine = engine_cls(g, shared_placement(), policy="DD")
+        with pytest.raises(EngineError) as exc_info:
+            engine.run_cycles(uows)
+        exc = exc_info.value
+        assert len(exc.metrics) == len(uows), name
+        assert exc.errors, name
+        assert "boom uow" in exc.errors[0], name
+        per_engine[name] = exc
+
+    threaded, process = per_engine["threaded"], per_engine["process"]
+    # Both work copies refused the bad cycle on both engines.
+    assert len(threaded.errors) == len(process.errors) == 2
+    for k in (0, 2):  # the healthy cycles merged completely, identically
+        t, p = threaded.metrics[k], process.metrics[k]
+        assert t.result == p.result == 2 * sum(range(COUNT))
+        assert (
+            t.stream_totals("src->work")
+            == p.stream_totals("src->work")
+            == (COUNT, COUNT * NBYTES)
+        )
+        assert t.makespan > 0.0 and p.makespan > 0.0
+    # The failed cycle still reports the sink's (empty) pass identically.
+    assert threaded.metrics[1].result == process.metrics[1].result == 0

@@ -1,0 +1,155 @@
+"""End-to-end tests for the ``repro serve`` query service.
+
+A real server (asyncio frontend + warm pools) runs in a background thread
+on an ephemeral port; tests speak the newline-delimited JSON protocol over
+TCP exactly like ``examples/serve_client.py``.
+"""
+
+import base64
+import json
+import multiprocessing
+import socket
+import threading
+
+import pytest
+
+from repro.serve import QueryService, SceneSpec, ppm_bytes, run_server
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the query service pools need the fork start method",
+)
+
+SCENE = SceneSpec(
+    "unit", grid=11, timesteps=2, species=2, nchunks=8, nfiles=4, seed=7,
+    isovalue=0.35,
+)
+
+
+def _start_server(service, admission_limit=4):
+    ready = threading.Event()
+    bound = {}
+
+    def _ready(port):
+        bound["port"] = port
+        ready.set()
+
+    thread = threading.Thread(
+        target=run_server,
+        kwargs={
+            "service": service,
+            "port": 0,
+            "admission_limit": admission_limit,
+            "ready": _ready,
+        },
+        daemon=True,
+    )
+    thread.start()
+    assert ready.wait(timeout=30.0), "server did not come up"
+    return thread, bound["port"]
+
+
+def _request(port, payload, timeout=120.0):
+    with socket.create_connection(("127.0.0.1", port), timeout=timeout) as s:
+        if isinstance(payload, dict):
+            payload = json.dumps(payload).encode()
+        s.sendall(payload + b"\n")
+        with s.makefile("rb") as fh:
+            line = fh.readline()
+    assert line, "server closed the connection without replying"
+    return json.loads(line)
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = QueryService(scenes=[SCENE], width=32, height=32)
+    thread, port = _start_server(service)
+    yield port
+    _request(port, {"cmd": "shutdown"})
+    thread.join(timeout=30.0)
+    assert not thread.is_alive()
+
+
+def test_ping(server):
+    assert _request(server, {"cmd": "ping"}) == {"ok": True, "pong": True}
+
+
+def test_cold_then_warm_query(server):
+    first = _request(server, {"cmd": "query"})
+    assert first["ok"]
+    assert first["dataset"] == "unit"
+    assert first["warm"] is False
+    frame = base64.b64decode(first["frame_b64"])
+    assert frame.startswith(b"P6 32 32 255\n")
+    assert len(frame) == len(b"P6 32 32 255\n") + 32 * 32 * 3
+    assert first["active_pixels"] > 0
+
+    second = _request(server, {"cmd": "query"})
+    assert second["ok"]
+    assert second["warm"] is True
+    assert second["pool_cycle"] >= 2
+    # Identical query, identical frame.
+    assert second["frame_b64"] == first["frame_b64"]
+
+
+def test_query_knobs_ride_the_uow(server):
+    base = _request(server, {"cmd": "query"})
+    moved = _request(
+        server,
+        {
+            "cmd": "query",
+            "isovalue": 0.5,
+            "timestep": 1,
+            "view": {"azimuth": 120, "elevation": 45},
+            "trace": True,
+        },
+    )
+    assert moved["ok"]
+    assert moved["isovalue"] == 0.5
+    assert moved["timestep"] == 1
+    assert moved["view"] == {"azimuth": 120.0, "elevation": 45.0}
+    assert moved["warm"] is True  # same pool key: knobs don't rebuild
+    assert moved["frame_b64"] != base["frame_b64"]
+    assert moved["trace"]["events"] > 0
+
+
+def test_bad_requests_get_error_responses(server):
+    assert "bad request" in _request(server, b"this is not json")["error"]
+    assert not _request(server, {"cmd": "nope"})["ok"]
+    bad_step = _request(server, {"cmd": "query", "timestep": 99})
+    assert not bad_step["ok"]
+    assert "timestep" in bad_step["error"]
+    bad_scene = _request(server, {"cmd": "query", "dataset": "missing"})
+    assert not bad_scene["ok"]
+    assert "unknown dataset" in bad_scene["error"]
+
+
+def test_stats_counts_queries(server):
+    stats = _request(server, {"cmd": "stats"})["stats"]
+    assert stats["scenes"] == ["unit"]
+    assert stats["queries_served"] >= 2
+    assert len(stats["pools"]) >= 1  # one warm pool per pipeline key
+    (pool_stats,) = stats["pools"].values()
+    assert pool_stats["cycles_completed"] >= 2
+
+
+def test_admission_control_rejects_at_limit():
+    service = QueryService(scenes=[SCENE], width=32, height=32)
+    thread, port = _start_server(service, admission_limit=0)
+    try:
+        response = _request(port, {"cmd": "query"})
+        assert response["ok"] is False
+        assert response["rejected"] is True
+        assert "admission limit" in response["error"]
+    finally:
+        _request(port, {"cmd": "shutdown"})
+        thread.join(timeout=30.0)
+
+
+def test_ppm_bytes_header():
+    import numpy as np
+
+    image = np.zeros((4, 6, 3), dtype=np.uint8)
+    data = ppm_bytes(image)
+    assert data.startswith(b"P6 6 4 255\n")
+    assert len(data) == len(b"P6 6 4 255\n") + 4 * 6 * 3
