@@ -6,11 +6,13 @@ deterministic, so a single round is measured; the regenerated table itself
 is attached to ``benchmark.extra_info`` for inspection in the JSON output.
 
 ``test_pipeline_engines.py`` additionally records real-pipeline throughput
-(threaded vs process engine) and ``test_warm_pool.py`` records cold-spawn
-vs warm-pool query latency into ``BENCH_pipeline.json`` at the repo root
-via the :func:`pipeline_report` fixture, so the perf trajectory of the real
-engines is tracked across PRs.  The baseline file is committed; rerunning
-the benches refreshes it in place.
+(threaded vs process engine), ``test_warm_pool.py`` records cold-spawn
+vs warm-pool query latency, and ``test_merge_scaling.py`` records the
+distributed-tile-framebuffer scaling table, all into
+``BENCH_pipeline.json`` at the repo root via the :func:`pipeline_report`
+fixture, so the perf trajectory of the real engines is tracked across
+PRs.  The baseline file is committed; rerunning the benches refreshes it
+in place.
 """
 
 import json
@@ -55,7 +57,11 @@ def pipeline_report():
     """
     report = {"engines": {}}
     yield report
-    if not report["engines"] and "warm_pool" not in report:
+    if (
+        not report["engines"]
+        and "warm_pool" not in report
+        and "merge_scaling" not in report
+    ):
         return
     engines = {
         name: {k: v for k, v in rec.items() if not k.startswith("_")}
@@ -82,4 +88,7 @@ def pipeline_report():
     warm_pool = report.get("warm_pool", previous.get("warm_pool"))
     if warm_pool:
         payload["warm_pool"] = warm_pool
+    merge_scaling = report.get("merge_scaling", previous.get("merge_scaling"))
+    if merge_scaling:
+        payload["merge_scaling"] = merge_scaling
     BENCH_PIPELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")

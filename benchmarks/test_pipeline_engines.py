@@ -8,16 +8,24 @@ fixture.  On machines with >= 4 cores the process engine must beat the
 threaded engine (which serialises all NumPy work behind the GIL) by >= 2x.
 """
 
+import json
 import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+from repro.core.tracing import Tracer
 from repro.data import HostDisks, ParSSimDataset, StorageMap
 from repro.engines import ProcessEngine, ThreadedEngine
 from repro.viz import IsosurfaceApp
 from repro.viz.profile import DatasetProfile
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+#: Fresh throughput may not fall more than this fraction below the
+#: committed baseline (same machine class only — gated on cpu_count).
+REGRESSION_TOLERANCE = 0.30
 
 ENGINES = {"threaded": ThreadedEngine, "process": ProcessEngine}
 WIDTH = HEIGHT = 128
@@ -61,11 +69,12 @@ def test_pipeline_engine_throughput(
     engine_cls = ENGINES[engine_name]
 
     def run():
+        tracer = Tracer()
         t0 = time.perf_counter()
-        metrics = engine_cls(graph, placement, policy="DD").run()
-        return metrics, time.perf_counter() - t0
+        metrics = engine_cls(graph, placement, policy="DD", tracer=tracer).run()
+        return metrics, time.perf_counter() - t0, tracer
 
-    metrics, wall = benchmark.pedantic(run, rounds=1, iterations=1)
+    metrics, wall, tracer = benchmark.pedantic(run, rounds=1, iterations=1)
     metrics.validate(graph)
     triangles = profile.total_triangles(0)
     pixels = WIDTH * HEIGHT
@@ -78,6 +87,10 @@ def test_pipeline_engine_throughput(
         "extract_copies": EXTRACT_COPIES,
         "image": f"{WIDTH}x{HEIGHT}",
         "policy": "DD",
+        "stage_busy_s": {
+            stage: round(seconds, 4)
+            for stage, seconds in tracer.stage_busy().items()
+        },
         "_image": metrics.result.image,
     }
 
@@ -95,4 +108,38 @@ def test_engines_bit_identical_and_process_speedup(pipeline_report):
         assert speedup >= 2.0, (
             f"process engine only {speedup:.2f}x threaded on "
             f"{os.cpu_count()} cores"
+        )
+
+
+def test_throughput_regression_guard(pipeline_report):
+    """Fresh pixels/sec must stay within tolerance of the committed baseline.
+
+    The ``pipeline_report`` fixture only rewrites ``BENCH_pipeline.json``
+    at session end, so reading it here still sees the committed numbers.
+    Skips when no baseline is committed or it was measured on a machine
+    with a different core count (wall throughput is not comparable).
+    """
+    fresh = pipeline_report["engines"]
+    if not fresh:
+        pytest.skip("engine benchmarks must run first")
+    if not BASELINE_PATH.exists():
+        pytest.skip("no committed baseline")
+    try:
+        baseline = json.loads(BASELINE_PATH.read_text())
+    except ValueError:
+        pytest.skip("baseline file is not valid JSON")
+    if baseline.get("cpu_count") != os.cpu_count():
+        pytest.skip(
+            f"baseline measured on cpu_count={baseline.get('cpu_count')}, "
+            f"this machine has {os.cpu_count()}"
+        )
+    for engine_name, record in baseline.get("engines", {}).items():
+        committed = record.get("pixels_per_s")
+        measured = fresh.get(engine_name, {}).get("pixels_per_s")
+        if not committed or not measured:
+            continue
+        floor = committed * (1.0 - REGRESSION_TOLERANCE)
+        assert measured >= floor, (
+            f"{engine_name} engine regressed: {measured:.1f} pixels/s vs "
+            f"committed {committed:.1f} (floor {floor:.1f})"
         )

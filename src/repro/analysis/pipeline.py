@@ -116,6 +116,19 @@ def verify_graph(graph: "FilterGraph") -> list[Diagnostic]:
                     )
                 )
 
+    # Z402 tile maps must be valid owner-assigned partitions.
+    for spec in graph.filters.values():
+        tile_map = getattr(spec, "tile_map", None)
+        if tile_map is None:
+            continue
+        for problem in tile_map.problems():
+            out.append(
+                RULES["Z402"].diagnostic(
+                    spec.name,
+                    f"filter {spec.name!r} tile map: {problem}",
+                )
+            )
+
     seen_pairs: dict[tuple[str, str], int] = {}
     for stream in graph.streams.values():
         pair = (stream.src, stream.dst)
@@ -187,6 +200,33 @@ def verify_placement(
                         f"{cs.copies} copies",
                     )
                 )
+    # Z403 tile-mapped filters need one single-copy set per owner, in
+    # owner order (the tile->owner mapping indexes copy sets positionally).
+    for spec in graph.filters.values():
+        tile_map = getattr(spec, "tile_map", None)
+        if tile_map is None or spec.name not in placed:
+            continue
+        copysets = placed[spec.name]
+        owners = tile_map.n_owners
+        if len(copysets) != owners:
+            out.append(
+                RULES["Z403"].diagnostic(
+                    spec.name,
+                    f"filter {spec.name!r} tile map names {owners} owners "
+                    f"but the placement has {len(copysets)} copy sets",
+                )
+            )
+        for cs in copysets:
+            if cs.copies != 1:
+                out.append(
+                    RULES["Z403"].diagnostic(
+                        spec.name,
+                        f"filter {spec.name!r} copy set on {cs.host!r} runs "
+                        f"{cs.copies} copies; tile owners must be single "
+                        f"copies (copies on one host share a queue, so the "
+                        f"tile->owner mapping cannot address them)",
+                    )
+                )
     for spec in graph.filters.values():
         if spec.outputs or spec.name not in placed:
             continue
@@ -236,6 +276,38 @@ def verify_flow(
                     stream.name,
                     f"WRR on stream {stream.name!r}: every consumer copy set "
                     f"runs 1 copy, so weighted cycling degenerates to RR",
+                )
+            )
+        # Z404/Z405 content routing and tile partitioning come in pairs.
+        dst_spec = graph.filters[stream.dst]
+        content_routed = bool(described.get("content_routed"))
+        dst_tile_map = getattr(dst_spec, "tile_map", None)
+        if dst_tile_map is not None and not content_routed:
+            out.append(
+                RULES["Z404"].diagnostic(
+                    stream.name,
+                    f"stream {stream.name!r}: consumer {stream.dst!r} is "
+                    f"tile-mapped but policy "
+                    f"{described.get('name', '?')} is not content-routed; "
+                    f"merge copies would receive tiles they do not own",
+                )
+            )
+        if content_routed and dst_tile_map is None:
+            out.append(
+                RULES["Z404"].diagnostic(
+                    stream.name,
+                    f"stream {stream.name!r}: policy "
+                    f"{described.get('name', '?')} routes by content but "
+                    f"consumer {stream.dst!r} declares no tile_map",
+                )
+            )
+        if content_routed and not dst_spec.phase_synchronised:
+            out.append(
+                RULES["Z405"].diagnostic(
+                    stream.name,
+                    f"stream {stream.name!r}: content-routed policy feeds "
+                    f"{stream.dst!r}, which is not phase-synchronised and "
+                    f"may stream torn per-tile state downstream",
                 )
             )
         if isinstance(window, int):

@@ -198,6 +198,45 @@ _rule(
     "fan-in in an unsynchronised filter upstream.",
 )
 
+_rule(
+    "Z402", "tile-map-invalid", Severity.ERROR, "tile",
+    "A filter declares a tile map that does not partition its viewport: "
+    "tiles leave pixels uncovered, overlap each other, fall outside the "
+    "viewport, or name owners inconsistently, so tile-routed fragments "
+    "are lost or double-merged.",
+    "Build tile maps with TileMap.rows()/grid(), or fix the hand-built "
+    "map until TileMap.problems() is empty.",
+)
+_rule(
+    "Z403", "tile-fanin-mismatch", Severity.ERROR, "tile",
+    "A tile-mapped merge filter's placement does not match its tile "
+    "map's owner count: the tile->owner mapping indexes merge copies in "
+    "placement order, so a missing copy silently drops its tiles and a "
+    "multi-copy set makes owner indices ambiguous (copies on one host "
+    "share a single queue).",
+    "Place exactly tile_map.n_owners copy sets of one copy each, on "
+    "distinct host labels, in owner order.",
+)
+_rule(
+    "Z404", "tile-routing-mismatch", Severity.ERROR, "tile",
+    "Tile partitioning and content routing must come in pairs: a "
+    "tile-mapped consumer behind a capacity-based policy (RR/WRR/DD) "
+    "receives tiles it does not own, and a content-routed policy into "
+    "an unmapped consumer has no tile_owner tags to route on.",
+    "Pair TileRouted streams with tile-mapped consumers: set the "
+    "stream's policy to TILE and give the consumer spec its tile_map "
+    "(or drop both).",
+)
+_rule(
+    "Z405", "content-routed-unsynced", Severity.WARNING, "tile",
+    "A content-routed policy feeds a consumer that is not "
+    "phase-synchronised: the consumer streams partial per-tile state "
+    "downstream before every producer has delivered its fragments for "
+    "the tile, so downstream observes torn tiles.",
+    "Mark the tile-merge consumer phase_synchronised=True so it emits "
+    "only at the end-of-work phase boundary.",
+)
+
 # -- B5xx: buffers vs the codec ----------------------------------------------
 _rule(
     "B501", "payload-dtype-mismatch", Severity.ERROR, "buffer",

@@ -23,10 +23,12 @@ from repro.core.policies import (
     RateBased,
     RoundRobin,
     Target,
+    TileRouted,
     WeightedRoundRobin,
     WriterPolicy,
     make_policy_factory,
 )
+from repro.core.tiles import Tile, TileMap
 from repro.core.tracing import EVENT_KINDS, QueueSample, TraceEvent, Tracer
 
 __all__ = [
@@ -52,6 +54,9 @@ __all__ = [
     "StreamSpec",
     "StreamStats",
     "Target",
+    "Tile",
+    "TileMap",
+    "TileRouted",
     "TraceEvent",
     "Tracer",
     "WeightedRoundRobin",

@@ -44,6 +44,12 @@ class FilterSpec:
     ``output_nbytes``
         Nominal wire size of emitted buffers, checked against the
         :class:`~repro.core.buffer.BufferCodec` configuration (``B502``).
+    ``tile_map``
+        For a distributed-framebuffer merge: the
+        :class:`~repro.core.tiles.TileMap` partitioning this consumer's
+        viewport.  The verifier checks the map's geometry (``Z402``), the
+        tile-owner -> copy-set correspondence (``Z403``) and the pairing
+        with a content-routed writer policy (``Z404``/``Z405``).
     """
 
     name: str
@@ -56,6 +62,7 @@ class FilterSpec:
     input_dtype: str | None = None
     output_dtype: str | None = None
     output_nbytes: int | None = None
+    tile_map: Any | None = None
 
     def __repr__(self) -> str:
         return f"<FilterSpec {self.name}>"
@@ -99,6 +106,7 @@ class FilterGraph:
         input_dtype: str | None = None,
         output_dtype: str | None = None,
         output_nbytes: int | None = None,
+        tile_map: Any | None = None,
     ) -> FilterSpec:
         """Register a logical filter.  Names must be unique.
 
@@ -118,6 +126,7 @@ class FilterGraph:
             input_dtype=input_dtype,
             output_dtype=output_dtype,
             output_nbytes=output_nbytes,
+            tile_map=tile_map,
         )
         self.filters[name] = spec
         return spec

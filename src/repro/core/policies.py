@@ -22,7 +22,8 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
-from collections.abc import Callable
+from collections.abc import Callable, Mapping
+from typing import Any
 
 from repro.errors import ConfigurationError
 
@@ -33,6 +34,7 @@ __all__ = [
     "WeightedRoundRobin",
     "DemandDriven",
     "RateBased",
+    "TileRouted",
     "PolicyFactory",
     "make_policy_factory",
 ]
@@ -70,6 +72,12 @@ class WriterPolicy(ABC):
     #: policy (Demand Driven and Rate Based need them).
     needs_ack: bool = False
 
+    #: True if the policy routes on buffer *content* (tags) rather than on
+    #: load/rotation state.  Content-routed policies pair with consumers
+    #: that partition their input deterministically (e.g. a tile-mapped
+    #: merge); the verifier's ``Z4xx`` tile rules key off this flag.
+    content_routed: bool = False
+
     def __init__(self) -> None:
         self.targets: list[Target] = []
         #: Time source; engines override it (the simulated engine injects
@@ -95,6 +103,7 @@ class WriterPolicy(ABC):
         return {
             "name": type(self).__name__,
             "needs_ack": self.needs_ack,
+            "content_routed": self.content_routed,
             "window": window if isinstance(window, int) else None,
         }
 
@@ -105,6 +114,18 @@ class WriterPolicy(ABC):
         Returns ``None`` when the policy cannot send right now (DD with all
         windows full); the engine must wait for an acknowledgment and retry.
         """
+
+    def route(self, tags: Mapping[str, Any] | None = None) -> Target | None:
+        """Pick the destination for the next buffer, given its tags.
+
+        Engines call this (not :meth:`select`) on every send, passing the
+        outgoing buffer's tag dictionary.  The default implementation
+        ignores the tags and defers to :meth:`select`; content-routed
+        policies (:class:`TileRouted`) override it to read the routing key
+        from the tags.  ``None`` means "cannot send right now", exactly as
+        for :meth:`select`.
+        """
+        return self.select()
 
     def on_sent(self, target: Target) -> None:
         """Engine notification: a buffer was sent to ``target``."""
@@ -319,6 +340,60 @@ class RateBased(WriterPolicy):
             self._ewma[target.index] = self.alpha * latency + (1 - self.alpha) * prev
 
 
+class TileRouted(WriterPolicy):
+    """Content routing for a distributed tile framebuffer.
+
+    Every outgoing buffer must carry an integer owner index under ``tag``
+    (default ``"tile_owner"``); the buffer is delivered to the consumer
+    copy set at that index, in placement order.  Producers split their
+    output per tile before writing, so each buffer lands on exactly the
+    merge copy owning its tile — the routing decision is a table lookup,
+    never load-dependent, and needs no acknowledgments.
+
+    The owner index keys the consumer's *copy sets*: a tile-routed
+    consumer must run its copies as one single-copy set per owner
+    (verifier rule ``Z403``), because copies within one set share a queue
+    and any of them could dequeue a buffer meant for a sibling.
+    """
+
+    content_routed = True
+
+    def __init__(self, tag: str = "tile_owner") -> None:
+        super().__init__()
+        if not tag:
+            raise ConfigurationError("TileRouted tag must be non-empty")
+        self.tag = tag
+
+    def describe(self) -> dict[str, object]:
+        """Static self-description (see WriterPolicy.describe)."""
+        described = super().describe()
+        described["tag"] = self.tag
+        return described
+
+    def select(self) -> Target | None:
+        """Unavailable: tile routing needs the buffer's tags (use route)."""
+        raise ConfigurationError(
+            "TileRouted cannot pick a destination without buffer tags; "
+            "engines must call route(tags)"
+        )
+
+    def route(self, tags: Mapping[str, Any] | None = None) -> Target | None:
+        """Deliver to the copy set owning the buffer's tile."""
+        owner = tags.get(self.tag) if tags else None
+        if not isinstance(owner, int) or isinstance(owner, bool):
+            raise ConfigurationError(
+                f"TileRouted buffer lacks an integer {self.tag!r} tag "
+                f"(got {owner!r}); split producer output per tile and tag "
+                f"each buffer with its owner index"
+            )
+        if not 0 <= owner < len(self.targets):
+            raise ConfigurationError(
+                f"tile owner {owner} out of range: the consumer has "
+                f"{len(self.targets)} copy sets"
+            )
+        return self.targets[owner]
+
+
 #: A callable producing a fresh policy per writer.
 PolicyFactory = Callable[[], WriterPolicy]
 
@@ -327,6 +402,7 @@ _REGISTRY: dict[str, Callable[..., WriterPolicy]] = {
     "WRR": WeightedRoundRobin,
     "DD": DemandDriven,
     "RATE": RateBased,
+    "TILE": TileRouted,
 }
 
 

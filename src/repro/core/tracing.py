@@ -246,6 +246,23 @@ class Tracer:
             }
         return out
 
+    def stage_busy(self) -> dict[str, float]:
+        """Total busy seconds (compute + flush) per *stage*.
+
+        A stage is the filter name — the copy label before the ``@``
+        (``"Ra@h0#1"`` belongs to stage ``"Ra"``); all copies of one
+        filter sum into one entry.  This is the per-stage breakdown the
+        benchmark reporter records, and on a single-core testbed the
+        denominator for busy-time throughput (wall time measures scheduler
+        interleaving, not stage cost).
+        """
+        out: dict[str, float] = defaultdict(float)
+        for copy in self.copies():
+            stage = copy.split("@", 1)[0]
+            out[stage] += sum(e - s for s, e in self.spans(copy, "compute"))
+            out[stage] += sum(e - s for s, e in self.spans(copy, "flush"))
+        return dict(sorted(out.items()))
+
     def summary(self) -> dict[str, Any]:
         """A compact dictionary view (used by reports and tests).
 

@@ -225,7 +225,7 @@ class _Writer:
         encoded = self.codec.encode(buffer)
         try:
             with self._cond:
-                target = self.policy.select()
+                target = self.policy.route(buffer.tags)
                 if target is None:
                     if self.tracer:
                         self.tracer.record(
@@ -233,7 +233,7 @@ class _Writer:
                         )
                     while target is None:
                         self._cond.wait()
-                        target = self.policy.select()
+                        target = self.policy.route(buffer.tags)
                     if self.tracer:
                         self.tracer.record(
                             self.clock(), self.label, "blocked", "end"

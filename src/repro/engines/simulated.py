@@ -471,7 +471,7 @@ class SimulatedEngine(Engine):
         tracer = self.tracer
         if label is None:
             label = writer.label
-        target = writer.policy.select()
+        target = writer.policy.route(buffer.tags)
         if target is None:
             # All windows full: the writer stalls until an ack returns.
             if tracer:
@@ -479,7 +479,7 @@ class SimulatedEngine(Engine):
             while target is None:
                 pending = writer.ack_event
                 yield pending
-                target = writer.policy.select()
+                target = writer.policy.route(buffer.tags)
             if tracer:
                 tracer.record(self.env.now, label, "blocked", "end")
         writer.policy.on_sent(target)

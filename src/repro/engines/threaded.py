@@ -89,14 +89,14 @@ class _Writer:
     def send(self, envelope: "_Envelope") -> Target:
         """Route one envelope via the policy; blocks while windows are full."""
         with self._cond:
-            target = self.policy.select()
+            target = self.policy.route(envelope.tags)
             if target is None:
                 # All windows full: the writer stalls until an ack returns.
                 if self.tracer:
                     self.tracer.record(self.clock(), self.label, "blocked", "start")
                 while target is None:
                     self._cond.wait()
-                    target = self.policy.select()
+                    target = self.policy.route(envelope.tags)
                 if self.tracer:
                     self.tracer.record(self.clock(), self.label, "blocked", "end")
             self.policy.on_sent(target)
@@ -120,12 +120,17 @@ class _Writer:
 
 
 class _Envelope:
-    __slots__ = ("buffer", "encoded", "stream", "writer", "target", "sent_at")
+    __slots__ = (
+        "buffer", "encoded", "stream", "tags", "writer", "target", "sent_at",
+    )
 
     def __init__(self, buffer: DataBuffer, stream: str):
         self.buffer = buffer
         self.encoded = None  # EncodedBuffer when the engine runs a codec
         self.stream = stream
+        # Kept separately: write_fn may null .buffer after codec encode,
+        # but content-routed policies still need the tags at send time.
+        self.tags = buffer.tags
         self.writer: _Writer | None = None
         self.target: Target | None = None
         self.sent_at = 0.0

@@ -96,6 +96,7 @@ class QueryService:
         height: int = 256,
         policy: str = "DD",
         copies: int = 2,
+        merge_copies: int = 1,
         max_pools: int = 4,
         max_inflight: int = 2,
         pool_idle_timeout: "float | None" = 300.0,
@@ -103,6 +104,10 @@ class QueryService:
         if config not in CONFIGURATIONS:
             raise ConfigurationError(
                 f"config must be one of {CONFIGURATIONS}, got {config!r}"
+            )
+        if merge_copies < 1:
+            raise ConfigurationError(
+                f"merge_copies must be >= 1, got {merge_copies}"
             )
         scenes = scenes or [SceneSpec("default")]
         self.scenes = {scene.name: scene for scene in scenes}
@@ -113,6 +118,7 @@ class QueryService:
         self.height = height
         self.policy = policy
         self.copies = copies
+        self.merge_copies = merge_copies
         self.max_inflight = max_inflight
         self.pools = PoolManager(
             max_pools=max_pools, idle_timeout=pool_idle_timeout
@@ -124,7 +130,7 @@ class QueryService:
     # -- pipeline construction ----------------------------------------------
     def _build_pool(
         self, scene: SceneSpec, config: str, algorithm: str,
-        width: int, height: int,
+        width: int, height: int, merge_copies: int,
     ) -> WarmPool:
         from repro.data import HostDisks, ParSSimDataset, StorageMap
         from repro.viz import IsosurfaceApp
@@ -147,11 +153,13 @@ class QueryService:
             algorithm=algorithm,
             dataset=dataset,
             isovalue=scene.isovalue,
+            merge_copies=merge_copies,
         )
         return WarmPool(
             app.graph(config),
             app.placement(config, copies_per_host=self.copies),
             policy=self.policy,
+            policy_overrides=app.policy_overrides(config),
             max_inflight=self.max_inflight,
         )
 
@@ -188,6 +196,11 @@ class QueryService:
                 f"timestep {timestep} out of range for {scene_name!r} "
                 f"(has {scene.timesteps})"
             )
+        merge_copies = int(request.get("merge_copies", self.merge_copies))
+        if merge_copies < 1:
+            raise ConfigurationError(
+                f"merge_copies must be >= 1, got {merge_copies}"
+            )
         uow: dict[str, Any] = {"isovalue": isovalue, "timestep": timestep}
         view = request.get("view")
         if view:
@@ -199,11 +212,16 @@ class QueryService:
                 height=height,
             )
 
+        # merge_copies is pool-keyed like any other placement parameter:
+        # a different fan-out is a different process topology, so it gets
+        # its own warm pipeline rather than rebuilding an existing one.
         key = (scene_name, config, algorithm, width, height,
-               self.policy, self.copies)
+               self.policy, self.copies, merge_copies)
         pool, created = self.pools.get(
             key,
-            lambda: self._build_pool(scene, config, algorithm, width, height),
+            lambda: self._build_pool(
+                scene, config, algorithm, width, height, merge_copies
+            ),
         )
         tracer = Tracer() if request.get("trace") else None
         try:
@@ -225,6 +243,7 @@ class QueryService:
             "height": height,
             "isovalue": isovalue,
             "timestep": timestep,
+            "merge_copies": merge_copies,
             "warm": not created,
             "pool_cycle": pool.cycles_completed,
             "latency_s": round(latency, 6),
@@ -258,6 +277,7 @@ class QueryService:
             "scenes": sorted(self.scenes),
             "config": self.config,
             "algorithm": self.algorithm,
+            "merge_copies": self.merge_copies,
             "queries_served": served,
             "queries_failed": failed,
             "pools": self.pools.stats(),

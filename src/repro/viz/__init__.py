@@ -14,6 +14,7 @@ from repro.viz.models import BufferSizes, CostParams
 from repro.viz.profile import DatasetProfile, dataset_1p5gb, dataset_25gb
 from repro.viz.raster import ZBUFFER_ENTRY_BYTES, ZBuffer, ZBufferSlab, triangle_fragments
 from repro.viz.shading import shade_triangles, triangle_normals
+from repro.viz.tiled import TileGatherFilter, TileImage, TileMergeFilter, TileSlab
 
 __all__ = [
     "ActivePixelMerger",
@@ -24,6 +25,10 @@ __all__ = [
     "CostParams",
     "DatasetProfile",
     "IsosurfaceApp",
+    "TileGatherFilter",
+    "TileImage",
+    "TileMergeFilter",
+    "TileSlab",
     "WPABuffer",
     "WPA_ENTRY_BYTES",
     "ZBUFFER_ENTRY_BYTES",

@@ -21,10 +21,13 @@ from dataclasses import dataclass, field
 from repro.core.graph import FilterGraph
 from repro.core.negotiate import declare_bounds, negotiate
 from repro.core.placement import Placement
+from repro.core.policies import PolicyFactory, make_policy_factory
+from repro.core.tiles import TileMap
 from repro.data.storage import StorageMap
 from repro.errors import ConfigurationError
 from repro.viz import filters as real
 from repro.viz import models as sim
+from repro.viz import tiled
 from repro.viz.camera import Camera
 from repro.viz.models import BufferSizes, CostParams
 from repro.viz.profile import DatasetProfile
@@ -57,6 +60,13 @@ class IsosurfaceApp:
         ``chunk_field(chunk, timestep, species)`` — the synthetic
         generators or an on-disk :class:`~repro.data.diskstore.
         DeclusteredStore`.  ``isovalue`` is the rendered surface level.
+    merge_copies / merge_tiles:
+        ``merge_copies > 1`` replaces the single Merge sink with the
+        distributed tile framebuffer: ``merge_tiles`` row-band tiles
+        (default: one per copy) owned round-robin by ``merge_copies``
+        tile-merge copies behind a ``TileRouted`` writer, gathered by a
+        lightweight single-copy sink.  ``merge_copies=1`` is exactly the
+        classic single-merge pipeline.
     """
 
     profile: DatasetProfile
@@ -73,6 +83,10 @@ class IsosurfaceApp:
     #: Optional explicit camera (e.g. an animation frame's viewpoint);
     #: ``None`` means a default camera framing the whole grid.
     view: Camera | None = None
+    #: Distributed-framebuffer fan-out: number of tile-merge copies.
+    merge_copies: int = 1
+    #: Tiles in the tile map (>= merge_copies); ``None`` = one per copy.
+    merge_tiles: int | None = None
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("zbuffer", "active"):
@@ -82,6 +96,15 @@ class IsosurfaceApp:
         if not 0 <= self.timestep < self.profile.timesteps:
             raise ConfigurationError(
                 f"timestep {self.timestep} outside [0, {self.profile.timesteps})"
+            )
+        if self.merge_copies < 1:
+            raise ConfigurationError(
+                f"merge_copies must be >= 1, got {self.merge_copies}"
+            )
+        if self.merge_tiles is not None and self.merge_tiles < self.merge_copies:
+            raise ConfigurationError(
+                f"merge_tiles ({self.merge_tiles}) must be >= merge_copies "
+                f"({self.merge_copies})"
             )
 
     # -- real-mode helpers -------------------------------------------------
@@ -100,6 +123,42 @@ class IsosurfaceApp:
                 "this app is simulation-only"
             )
         return self.dataset
+
+    # -- distributed tile framebuffer ----------------------------------------
+    def tile_map(self) -> TileMap | None:
+        """The viewport partition, or ``None`` for the single-merge sink."""
+        if self.merge_copies == 1:
+            return None
+        return TileMap.rows(
+            self.width,
+            self.height,
+            self.merge_tiles or self.merge_copies,
+            self.merge_copies,
+        )
+
+    def merge_stream(self, configuration: str) -> str:
+        """The stream carrying raster output into the merge stage."""
+        upstream = {
+            "R-E-Ra-M": "Ra",
+            "RE-Ra-M": "Ra",
+            "R-ERa-M": "ERa",
+            "RERa-M": "RERa",
+        }[configuration]
+        dst = "TM" if self.merge_copies > 1 else "M"
+        return f"{upstream}->{dst}"
+
+    def policy_overrides(
+        self, configuration: str
+    ) -> dict[str, PolicyFactory]:
+        """Per-stream writer-policy overrides the engines need.
+
+        A tiled pipeline routes the raster -> merge stream by buffer
+        content (``TileRouted``) regardless of the session-wide policy;
+        every other stream keeps the engine default.
+        """
+        if self.merge_copies == 1:
+            return {}
+        return {self.merge_stream(configuration): make_policy_factory("TILE")}
 
     # -- graph builders ------------------------------------------------------
     def graph(self, configuration: str) -> FilterGraph:
@@ -127,17 +186,66 @@ class IsosurfaceApp:
             real_factory = lambda: real.MergeAPFilter(self.width, self.height)  # noqa: E731
         return real_factory, sim_factory
 
+    def _attach_merge(self, g: FilterGraph, upstream: str) -> None:
+        """Append the merge stage after ``upstream``: single sink or TM->M.
+
+        With ``merge_copies == 1`` this is today's phase behaviour exactly;
+        otherwise the tile-merge copies and the gather are both
+        phase-synchronised (they emit/complete only at end-of-work).
+        """
+        tmap = self.tile_map()
+        if tmap is None:
+            g.add_filter(
+                # The z-buffer merge is a phase-synchronised accumulator: it
+                # only emits at the end-of-work phase boundary (verifier
+                # Z401).
+                "M",
+                phase_synchronised=self.algorithm == "zbuffer",
+            )
+            g.connect(upstream, "M")
+            return
+        g.add_filter("TM", phase_synchronised=True, tile_map=tmap)
+        g.add_filter("M", phase_synchronised=True)
+        g.connect(upstream, "TM")
+        g.connect("TM", "M")
+
+    def _bind_merge(self, g: FilterGraph) -> None:
+        """Install the merge-stage factories (single or tiled)."""
+        tmap = self.tile_map()
+        if tmap is None:
+            real_m, sim_m = self._merge_factories()
+            g.filters["M"].factory = self._real_or_none(real_m)
+            g.filters["M"].sim_factory = sim_m
+            return
+        g.filters["TM"].factory = self._real_or_none(
+            lambda: tiled.TileMergeFilter(tmap, self.algorithm)
+        )
+        g.filters["TM"].sim_factory = lambda: sim.TileMergeModel(
+            self.costs, self.algorithm, tmap
+        )
+        g.filters["M"].factory = self._real_or_none(
+            lambda: tiled.TileGatherFilter(self.width, self.height)
+        )
+        g.filters["M"].sim_factory = lambda: sim.TileGatherModel(
+            self.costs, self.algorithm, self.width, self.height
+        )
+
     def _raster_factories(self, buffers: BufferSizes):
+        tmap = self.tile_map()
         if self.algorithm == "zbuffer":
             sim_factory = lambda: sim.RasterZBModel(  # noqa: E731
-                self.costs, buffers, self.width, self.height
+                self.costs, buffers, self.width, self.height, tile_map=tmap
             )
-            real_factory = lambda: real.RasterZFilter(self.camera())  # noqa: E731
+            real_factory = lambda: real.RasterZFilter(  # noqa: E731
+                self.camera(), tile_map=tmap
+            )
         else:
             sim_factory = lambda: sim.RasterAPModel(  # noqa: E731
-                self.costs, buffers, self.width, self.height
+                self.costs, buffers, self.width, self.height, tile_map=tmap
             )
-            real_factory = lambda: real.RasterAPFilter(self.camera())  # noqa: E731
+            real_factory = lambda: real.RasterAPFilter(  # noqa: E731
+                self.camera(), tile_map=tmap
+            )
         return real_factory, sim_factory
 
     def _real_or_none(self, factory):
@@ -175,7 +283,13 @@ class IsosurfaceApp:
                 declare_bounds(graph, spec.src, stream, self._MIN_BUFFER)
             declare_bounds(graph, spec.dst, stream, want)
         sizes = negotiate(graph, default=self._MIN_BUFFER)
-        by_role = {roles[stream]: size for stream, size in sizes.items()}
+        # Streams without a role (e.g. the TM->M gather stream) keep the
+        # negotiated default and don't feed back into the knobs.
+        by_role = {
+            roles[stream]: size
+            for stream, size in sizes.items()
+            if stream in roles
+        }
         return BufferSizes(
             read=by_role.get("read", self.buffers.read),
             triangles=by_role.get("triangles", self.buffers.triangles),
@@ -207,17 +321,16 @@ class IsosurfaceApp:
             factory=self._real_or_none(lambda: real.ExtractFilter(self.isovalue)),
         )
         g.add_filter("Ra")
-        g.add_filter(
-            # The z-buffer merge is a phase-synchronised accumulator: it
-            # only emits at the end-of-work phase boundary (verifier Z401).
-            "M",
-            phase_synchronised=self.algorithm == "zbuffer",
-        )
         g.connect("R", "E")
         g.connect("E", "Ra")
-        g.connect("Ra", "M")
+        self._attach_merge(g, "Ra")
         eff = self._negotiate(
-            g, {"R->E": "read", "E->Ra": "triangles", "Ra->M": "merge"}
+            g,
+            {
+                "R->E": "read",
+                "E->Ra": "triangles",
+                self.merge_stream("R-E-Ra-M"): "merge",
+            },
         )
         g.filters["R"].sim_factory = lambda: sim.ReadSourceModel(
             self.profile, self.storage, self.timestep, self.costs, eff
@@ -226,9 +339,7 @@ class IsosurfaceApp:
         real_ra, sim_ra = self._raster_factories(eff)
         g.filters["Ra"].factory = self._real_or_none(real_ra)
         g.filters["Ra"].sim_factory = sim_ra
-        real_m, sim_m = self._merge_factories()
-        g.filters["M"].factory = self._real_or_none(real_m)
-        g.filters["M"].sim_factory = sim_m
+        self._bind_merge(g)
         return g
 
     def _graph_re_ra_m(self) -> FilterGraph:
@@ -246,24 +357,19 @@ class IsosurfaceApp:
             is_source=True,
         )
         g.add_filter("Ra")
-        g.add_filter(
-            # The z-buffer merge is a phase-synchronised accumulator: it
-            # only emits at the end-of-work phase boundary (verifier Z401).
-            "M",
-            phase_synchronised=self.algorithm == "zbuffer",
-        )
         g.connect("RE", "Ra")
-        g.connect("Ra", "M")
-        eff = self._negotiate(g, {"RE->Ra": "triangles", "Ra->M": "merge"})
+        self._attach_merge(g, "Ra")
+        eff = self._negotiate(
+            g,
+            {"RE->Ra": "triangles", self.merge_stream("RE-Ra-M"): "merge"},
+        )
         g.filters["RE"].sim_factory = lambda: sim.ReadExtractSourceModel(
             self.profile, self.storage, self.timestep, self.costs, eff
         )
         real_ra, sim_ra = self._raster_factories(eff)
         g.filters["Ra"].factory = self._real_or_none(real_ra)
         g.filters["Ra"].sim_factory = sim_ra
-        real_m, sim_m = self._merge_factories()
-        g.filters["M"].factory = self._real_or_none(real_m)
-        g.filters["M"].sim_factory = sim_m
+        self._bind_merge(g)
         return g
 
     def _graph_r_era_m(self) -> FilterGraph:
@@ -281,28 +387,30 @@ class IsosurfaceApp:
             "ERa",
             factory=self._real_or_none(
                 lambda: real.ExtractRasterFilter(
-                    self.isovalue, self.camera(), self.algorithm
+                    self.isovalue,
+                    self.camera(),
+                    self.algorithm,
+                    tile_map=self.tile_map(),
                 )
             ),
         )
-        g.add_filter(
-            # The z-buffer merge is a phase-synchronised accumulator: it
-            # only emits at the end-of-work phase boundary (verifier Z401).
-            "M",
-            phase_synchronised=self.algorithm == "zbuffer",
-        )
         g.connect("R", "ERa")
-        g.connect("ERa", "M")
-        eff = self._negotiate(g, {"R->ERa": "read", "ERa->M": "merge"})
+        self._attach_merge(g, "ERa")
+        eff = self._negotiate(
+            g, {"R->ERa": "read", self.merge_stream("R-ERa-M"): "merge"}
+        )
         g.filters["R"].sim_factory = lambda: sim.ReadSourceModel(
             self.profile, self.storage, self.timestep, self.costs, eff
         )
         g.filters["ERa"].sim_factory = lambda: sim.ExtractRasterModel(
-            self.costs, eff, self.width, self.height, self.algorithm
+            self.costs,
+            eff,
+            self.width,
+            self.height,
+            self.algorithm,
+            tile_map=self.tile_map(),
         )
-        real_m, sim_m = self._merge_factories()
-        g.filters["M"].factory = self._real_or_none(real_m)
-        g.filters["M"].sim_factory = sim_m
+        self._bind_merge(g)
         return g
 
     def _graph_rera_m(self) -> FilterGraph:
@@ -317,18 +425,13 @@ class IsosurfaceApp:
                     self.isovalue,
                     self.camera(),
                     self.algorithm,
+                    tile_map=self.tile_map(),
                 )
             ),
             is_source=True,
         )
-        g.add_filter(
-            # The z-buffer merge is a phase-synchronised accumulator: it
-            # only emits at the end-of-work phase boundary (verifier Z401).
-            "M",
-            phase_synchronised=self.algorithm == "zbuffer",
-        )
-        g.connect("RERa", "M")
-        eff = self._negotiate(g, {"RERa->M": "merge"})
+        self._attach_merge(g, "RERa")
+        eff = self._negotiate(g, {self.merge_stream("RERa-M"): "merge"})
         g.filters["RERa"].sim_factory = lambda: sim.ReadExtractRasterSourceModel(
             self.profile,
             self.storage,
@@ -338,10 +441,9 @@ class IsosurfaceApp:
             self.width,
             self.height,
             self.algorithm,
+            tile_map=self.tile_map(),
         )
-        real_m, sim_m = self._merge_factories()
-        g.filters["M"].factory = self._real_or_none(real_m)
-        g.filters["M"].sim_factory = sim_m
+        self._bind_merge(g)
         return g
 
     # -- placement helpers -------------------------------------------------------
@@ -351,6 +453,7 @@ class IsosurfaceApp:
         compute_hosts: list[str] | None = None,
         merge_host: str | None = None,
         copies_per_host: int | dict[str, int] = 1,
+        merge_hosts: list[str] | None = None,
     ) -> Placement:
         """A standard placement for ``configuration``.
 
@@ -359,6 +462,13 @@ class IsosurfaceApp:
         (default: the data hosts); Merge runs once on ``merge_host``
         (default: the first compute host).  ``copies_per_host`` may be an
         int or a per-host dict and applies to the worker filters.
+
+        With ``merge_copies > 1`` the tile-merge filter runs as
+        ``merge_copies`` single-copy sets, one per owner index *in order*
+        (the ``TileRouted`` routing invariant), on ``merge_hosts`` when
+        given, else on the first compute hosts (padded with synthesized
+        ``host:mN`` labels on a single-host testbed); the gather keeps the
+        classic single-copy placement on ``merge_host``.
         """
         graph = self.graph(configuration)
         data_hosts = self.storage.hosts()
@@ -370,6 +480,10 @@ class IsosurfaceApp:
         for spec in graph.filters.values():
             if spec.is_source:
                 placement.spread(spec.name, data_hosts)
+            elif spec.name == "TM":
+                placement.place("TM", self._merge_copy_hosts(
+                    compute_hosts, merge_host, merge_hosts
+                ))
             elif spec.name == "M":
                 placement.place("M", [merge_host])
             else:
@@ -383,3 +497,29 @@ class IsosurfaceApp:
                         spec.name, compute_hosts, copies_per_host=copies_per_host
                     )
         return placement
+
+    def _merge_copy_hosts(
+        self,
+        compute_hosts: list[str],
+        merge_host: str,
+        merge_hosts: list[str] | None,
+    ) -> list[str]:
+        """One distinct host label per tile-merge copy, in owner order."""
+        if merge_hosts is not None:
+            if len(merge_hosts) != self.merge_copies:
+                raise ConfigurationError(
+                    f"merge_hosts must list exactly merge_copies="
+                    f"{self.merge_copies} hosts, got {len(merge_hosts)}"
+                )
+            return list(merge_hosts)
+        hosts = list(compute_hosts[: self.merge_copies])
+        # Each copy must be its own copy set (copies sharing a host share
+        # one queue, breaking owner routing) — pad with virtual labels
+        # when the testbed has fewer hosts than merge copies.
+        index = 0
+        while len(hosts) < self.merge_copies:
+            label = f"{merge_host}:m{index}"
+            if label not in hosts:
+                hosts.append(label)
+            index += 1
+        return hosts

@@ -19,7 +19,7 @@ from repro.core.filter import Filter, FilterContext
 from repro.data.chunks import ChunkSpec
 from repro.data.parssim import ParSSimDataset
 from repro.data.storage import StorageMap
-from repro.errors import DataError
+from repro.errors import DataError, EngineError
 from repro.viz.active_pixel import ActivePixelMerger, ActivePixelRaster, WPABuffer
 from repro.viz.camera import Camera
 from repro.viz.marching_cubes import extract_triangles
@@ -168,16 +168,21 @@ class _RasterBase(Filter):
 
     The active camera may be overridden per unit of work via
     ``ctx.uow["camera"]`` (latched at ``init``, when the cycle starts).
+    With a ``tile_map`` the filter splits its output per tile and tags
+    each buffer with ``{"tile", "tile_owner"}`` so a ``TileRouted``
+    writer can deliver it to the owning merge copy.
     """
 
     def __init__(
         self,
         camera: Camera,
         light_direction: tuple[float, float, float] = (0.4, -0.5, 0.8),
+        tile_map=None,
     ):
         self.camera = camera
         self._active_camera = camera
         self.light_direction = light_direction
+        self.tile_map = tile_map
 
     def _latch_camera(self, ctx: FilterContext) -> None:
         self._active_camera = _uow_get(ctx, "camera", self.camera)
@@ -204,8 +209,22 @@ class RasterZFilter(_RasterBase):
 
     def flush(self, ctx: FilterContext) -> None:
         """End-of-work processing (see Filter.flush)."""
-        for slab in self._zbuf.slabs(ZB_SLAB_ENTRIES):
-            ctx.write(DataBuffer(slab.nbytes, slab))
+        if self.tile_map is None:
+            for slab in self._zbuf.slabs(ZB_SLAB_ENTRIES):
+                ctx.write(DataBuffer(slab.nbytes, slab))
+            return
+        from repro.viz.tiled import zbuffer_tile_slabs
+
+        for tile, slab in zbuffer_tile_slabs(
+            self._zbuf, self.tile_map, ZB_SLAB_ENTRIES
+        ):
+            ctx.write(
+                DataBuffer(
+                    slab.nbytes,
+                    slab,
+                    tags={"tile": tile.index, "tile_owner": tile.owner},
+                )
+            )
 
     def finalize(self, ctx: FilterContext) -> None:
         """Release per-unit-of-work resources (see Filter.finalize)."""
@@ -215,8 +234,14 @@ class RasterZFilter(_RasterBase):
 class RasterAPFilter(_RasterBase):
     """Ra (active pixel): emit WPA buffers as input buffers are processed."""
 
-    def __init__(self, camera, light_direction=(0.4, -0.5, 0.8), capacity_entries=5461):
-        super().__init__(camera, light_direction)
+    def __init__(
+        self,
+        camera,
+        light_direction=(0.4, -0.5, 0.8),
+        capacity_entries=5461,
+        tile_map=None,
+    ):
+        super().__init__(camera, light_direction, tile_map)
         self.capacity_entries = capacity_entries
 
     def init(self, ctx: FilterContext) -> None:
@@ -230,8 +255,21 @@ class RasterAPFilter(_RasterBase):
         """Process one input buffer (see Filter.handle)."""
         payload: TrianglePayload = buffer.payload
         screen, colors = self._screen_and_colors(payload.triangles)
+        if self.tile_map is None:
+            for wpa in self._raster.process(screen, colors):
+                ctx.write(DataBuffer(wpa.nbytes, wpa))
+            return
+        from repro.viz.tiled import split_wpa
+
         for wpa in self._raster.process(screen, colors):
-            ctx.write(DataBuffer(wpa.nbytes, wpa))
+            for tile, sub in split_wpa(wpa, self.tile_map):
+                ctx.write(
+                    DataBuffer(
+                        sub.nbytes,
+                        sub,
+                        tags={"tile": tile.index, "tile_owner": tile.owner},
+                    )
+                )
 
     def finalize(self, ctx: FilterContext) -> None:
         """Release per-unit-of-work resources (see Filter.finalize)."""
@@ -258,6 +296,10 @@ class MergeZFilter(Filter):
 
     def result(self) -> RenderResult:
         """The composited image (available after the run completes)."""
+        if not hasattr(self, "_zbuf"):
+            raise EngineError(
+                "MergeZFilter has no result yet: run the pipeline first"
+            )
         return RenderResult(
             self._zbuf.image(), self._zbuf.active_pixels(), self._buffers
         )
@@ -281,6 +323,10 @@ class MergeAPFilter(Filter):
 
     def result(self) -> RenderResult:
         """The composited image (available after the run completes)."""
+        if not hasattr(self, "_merger"):
+            raise EngineError(
+                "MergeAPFilter has no result yet: run the pipeline first"
+            )
         return RenderResult(
             self._merger.image(),
             self._merger.active_pixels(),
@@ -333,19 +379,26 @@ class ExtractRasterFilter(Filter):
     (streaming emission).
     """
 
-    def __init__(self, isovalue: float, camera: Camera, algorithm: str = "active"):
+    def __init__(
+        self,
+        isovalue: float,
+        camera: Camera,
+        algorithm: str = "active",
+        tile_map=None,
+    ):
         if algorithm not in ("zbuffer", "active"):
             raise DataError(f"algorithm must be 'zbuffer' or 'active', got {algorithm!r}")
         self.isovalue = isovalue
         self.camera = camera
         self.algorithm = algorithm
+        self.tile_map = tile_map
 
     def init(self, ctx: FilterContext) -> None:
         """Per-unit-of-work set-up (see Filter.init)."""
         if self.algorithm == "zbuffer":
-            self._raster = RasterZFilter(self.camera)
+            self._raster = RasterZFilter(self.camera, tile_map=self.tile_map)
         else:
-            self._raster = RasterAPFilter(self.camera)
+            self._raster = RasterAPFilter(self.camera, tile_map=self.tile_map)
         self._raster.init(ctx)
         # Latched per cycle, like the raster camera: one isovalue per
         # unit of work, stable across all of the cycle's chunks.
@@ -387,6 +440,7 @@ class ReadExtractRasterFilter(Filter):
         camera: Camera,
         algorithm: str = "active",
         species: int = 0,
+        tile_map=None,
     ):
         if algorithm not in ("zbuffer", "active"):
             raise DataError(f"algorithm must be 'zbuffer' or 'active', got {algorithm!r}")
@@ -397,13 +451,14 @@ class ReadExtractRasterFilter(Filter):
         self.isovalue = isovalue
         self.camera = camera
         self.algorithm = algorithm
+        self.tile_map = tile_map
 
     def init(self, ctx: FilterContext) -> None:
         """Per-unit-of-work set-up (see Filter.init)."""
         if self.algorithm == "zbuffer":
-            self._raster = RasterZFilter(self.camera)
+            self._raster = RasterZFilter(self.camera, tile_map=self.tile_map)
         else:
-            self._raster = RasterAPFilter(self.camera)
+            self._raster = RasterAPFilter(self.camera, tile_map=self.tile_map)
         self._raster.init(ctx)
 
     def flush(self, ctx: FilterContext) -> None:

@@ -201,3 +201,77 @@ def test_rate_probes_each_target_once_before_estimating():
     policy.on_ack(first)
     policy.on_ack(second)
     assert policy.select() is not None
+
+
+# -- TILE (content routing) --------------------------------------------------
+
+
+def tile_policy(n=3):
+    from repro.core.policies import TileRouted
+
+    policy = TileRouted()
+    policy.bind(targets(*[(f"h{i}", 1) for i in range(n)]))
+    return policy
+
+
+def test_tile_routes_by_owner_tag():
+    policy = tile_policy(3)
+    assert policy.route({"tile_owner": 2}).host == "h2"
+    assert policy.route({"tile_owner": 0}).host == "h0"
+    # A table lookup, not a cycle: the same tag always lands the same host.
+    assert policy.route({"tile_owner": 2}).host == "h2"
+
+
+def test_tile_select_without_tags_raises():
+    with pytest.raises(ConfigurationError, match="route"):
+        tile_policy().select()
+
+
+def test_tile_missing_or_bad_tag_raises():
+    policy = tile_policy()
+    with pytest.raises(ConfigurationError, match="tile_owner"):
+        policy.route(None)
+    with pytest.raises(ConfigurationError, match="tile_owner"):
+        policy.route({"other": 1})
+    with pytest.raises(ConfigurationError, match="tile_owner"):
+        policy.route({"tile_owner": "1"})
+    with pytest.raises(ConfigurationError, match="tile_owner"):
+        policy.route({"tile_owner": True})  # bool is not an owner index
+
+
+def test_tile_out_of_range_owner_raises():
+    with pytest.raises(ConfigurationError, match="out of range"):
+        tile_policy(2).route({"tile_owner": 2})
+    with pytest.raises(ConfigurationError, match="out of range"):
+        tile_policy(2).route({"tile_owner": -1})
+
+
+def test_tile_custom_tag_and_describe():
+    from repro.core.policies import TileRouted
+
+    policy = TileRouted(tag="band")
+    policy.bind(targets(("a", 1)))
+    assert policy.route({"band": 0}).host == "a"
+    described = policy.describe()
+    assert described["name"] == "TileRouted"
+    assert described["content_routed"] is True
+    assert described["tag"] == "band"
+    with pytest.raises(ConfigurationError, match="non-empty"):
+        TileRouted(tag="")
+
+
+def test_tile_registered_in_factory():
+    from repro.core.policies import TileRouted
+
+    policy = make_policy_factory("TILE")()
+    assert isinstance(policy, TileRouted)
+    assert policy.needs_ack is False
+
+
+def test_capacity_policies_route_ignores_tags():
+    # The default route() hook is select(): tags are irrelevant to RR.
+    policy = RoundRobin()
+    policy.bind(targets(("a", 1), ("b", 1)))
+    assert policy.route({"tile_owner": 1}).host == "a"
+    assert policy.route(None).host == "b"
+    assert policy.describe()["content_routed"] is False

@@ -190,3 +190,21 @@ def test_timeline_rejects_degenerate_width():
         with pytest.raises(ValueError, match="width"):
             tracer.timeline(width=width)
     assert "|" in tracer.timeline(width=1)  # minimum width still renders
+
+
+def test_stage_busy_sums_copies_per_filter():
+    tracer = Tracer()
+    # Two Ra copies and one M copy; busy = compute + flush spans.
+    tracer.record(0.0, "Ra@h0#0", "compute", "start")
+    tracer.record(1.0, "Ra@h0#0", "compute", "end")
+    tracer.record(0.5, "Ra@h1#0", "compute", "start")
+    tracer.record(2.5, "Ra@h1#0", "compute", "end")
+    tracer.record(3.0, "M@h0#0", "flush", "start")
+    tracer.record(3.25, "M@h0#0", "flush", "end")
+    busy = tracer.stage_busy()
+    assert busy == pytest.approx({"Ra": 3.0, "M": 0.25})
+    assert list(busy) == ["M", "Ra"]  # sorted by stage name
+
+
+def test_stage_busy_empty_tracer():
+    assert Tracer().stage_busy() == {}

@@ -143,6 +143,9 @@ def test_abandoned_send_releases_encoded_payload(shm_ledger):
         def select(self):
             raise RuntimeError("routing failed")
 
+        def route(self, tags):
+            return self.select()
+
     writer = _Writer(
         host="h0",
         policy=ExplodingPolicy(),

@@ -153,3 +153,20 @@ def test_ppm_bytes_header():
     data = ppm_bytes(image)
     assert data.startswith(b"P6 6 4 255\n")
     assert len(data) == len(b"P6 6 4 255\n") + 4 * 6 * 3
+
+
+def test_merge_copies_request_keys_its_own_pool(server):
+    tiled = _request(server, {"cmd": "query", "merge_copies": 2})
+    assert tiled["ok"]
+    assert tiled["merge_copies"] == 2
+    assert tiled["warm"] is False  # new pool key: first query is cold
+    base = _request(server, {"cmd": "query"})
+    # Same scene and size: the tiled pipeline renders the same frame.
+    assert tiled["frame_b64"] == base["frame_b64"]
+    again = _request(server, {"cmd": "query", "merge_copies": 2})
+    assert again["warm"] is True
+    stats = _request(server, {"cmd": "stats"})["stats"]
+    assert len(stats["pools"]) >= 2  # single-merge and tiled pools coexist
+    bad = _request(server, {"cmd": "query", "merge_copies": 0})
+    assert not bad["ok"]
+    assert "merge_copies" in bad["error"]

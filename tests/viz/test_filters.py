@@ -169,3 +169,11 @@ def test_extract_raster_filter_validation():
                  width=8, height=8)
     with pytest.raises(DataError):
         ExtractRasterFilter(0.5, cam, algorithm="bogus")
+
+
+def test_merge_result_before_run_raises():
+    from repro.errors import EngineError
+
+    for merge in (MergeZFilter(8, 8), MergeAPFilter(8, 8)):
+        with pytest.raises(EngineError, match="run the pipeline first"):
+            merge.result()

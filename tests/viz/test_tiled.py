@@ -1,0 +1,286 @@
+"""Unit and property tests for the distributed tile framebuffer.
+
+The contract under test: routing raster output through per-tile merge
+copies and pasting the composited tiles back together is *bit-exact*
+against the single-merge baseline, for both hidden-surface-removal
+algorithms, on any valid tile map.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.buffer import DataBuffer
+from repro.core.filter import FilterContext
+from repro.core.tiles import TileMap
+from repro.errors import EngineError
+from repro.viz.active_pixel import WPABuffer
+from repro.viz.raster import ZBuffer
+from repro.viz.tiled import (
+    TileGatherFilter,
+    TileImage,
+    TileMergeFilter,
+    TileSlab,
+    split_wpa,
+    zbuffer_tile_slabs,
+)
+
+
+class Collector:
+    """A FilterContext capturing writes for direct filter testing."""
+
+    def __init__(self):
+        self.written: list[DataBuffer] = []
+        self.ctx = FilterContext(
+            filter_name="test",
+            host="h0",
+            copy_index=0,
+            copies_on_host=1,
+            total_copies=1,
+            output_streams=["out"],
+            write_fn=lambda _stream, buf: self.written.append(buf),
+        )
+
+
+def soup_zbuffer(width, height, triangles, seed=0):
+    """Rasterise a random-ish triangle soup into a fresh z-buffer."""
+    rng = np.random.default_rng(seed)
+    zbuf = ZBuffer(width, height)
+    if triangles:
+        tris = np.stack(
+            [
+                np.column_stack(
+                    [
+                        rng.uniform(-2, width + 2, 3),
+                        rng.uniform(-2, height + 2, 3),
+                        rng.uniform(0.1, 10.0, 3),
+                    ]
+                )
+                for _ in range(triangles)
+            ]
+        )
+        colors = rng.integers(1, 255, size=(triangles, 3), dtype=np.uint8)
+        zbuf.rasterize(tris, colors)
+    return zbuf
+
+
+def run_tiled(zbufs, tile_map, algorithm, entries_per_buffer=64):
+    """Producer-split -> per-owner TileMergeFilter -> TileGatherFilter."""
+    # One merge copy per owner, routed exactly as TileRouted would.
+    merges = []
+    merge_cols = []
+    for _owner in range(tile_map.n_owners):
+        tm = TileMergeFilter(tile_map, algorithm)
+        col = Collector()
+        tm.init(col.ctx)
+        merges.append(tm)
+        merge_cols.append(col)
+    for zbuf in zbufs:
+        if algorithm == "zbuffer":
+            parts = [
+                (tile, slab, slab.nbytes)
+                for tile, slab in zbuffer_tile_slabs(
+                    zbuf, tile_map, entries_per_buffer
+                )
+            ]
+        else:
+            active = np.flatnonzero(np.isfinite(zbuf.depth))
+            wpa = WPABuffer(
+                active, zbuf.depth[active], zbuf.color[active]
+            )
+            parts = [
+                (tile, sub, sub.nbytes) for tile, sub in split_wpa(wpa, tile_map)
+            ]
+        for tile, payload, nbytes in parts:
+            buf = DataBuffer(
+                max(nbytes, 1),
+                payload,
+                tags={"tile": tile.index, "tile_owner": tile.owner},
+            )
+            merges[tile.owner].handle(merge_cols[tile.owner].ctx, buf)
+    gather = TileGatherFilter(tile_map.width, tile_map.height)
+    gather_col = Collector()
+    gather.init(gather_col.ctx)
+    for tm, col in zip(merges, merge_cols):
+        tm.flush(col.ctx)
+        tm.finalize(col.ctx)
+        for buf in col.written:
+            gather.handle(gather_col.ctx, buf)
+    gather.flush(gather_col.ctx)
+    return gather.result()
+
+
+def single_merge(zbufs, width, height):
+    ref = ZBuffer(width, height)
+    for zbuf in zbufs:
+        ref.merge(zbuf)
+    return ref
+
+
+# -- producer-side splitting -------------------------------------------------
+
+
+def test_zbuffer_tile_slabs_cover_each_tile_in_local_order():
+    zbuf = soup_zbuffer(8, 6, triangles=5)
+    tmap = TileMap.rows(8, 6, 3)
+    per_tile: dict[int, list[TileSlab]] = {}
+    for tile, slab in zbuffer_tile_slabs(zbuf, tmap, entries_per_buffer=7):
+        assert len(slab.depth) <= 7
+        per_tile.setdefault(tile.index, []).append(slab)
+    assert set(per_tile) == {0, 1, 2}
+    for tile in tmap.tiles:
+        slabs = per_tile[tile.index]
+        # Slabs are tile-local, contiguous, and cover every tile pixel.
+        assert slabs[0].start == 0
+        covered = sum(len(s.depth) for s in slabs)
+        assert covered == tile.pixels
+        depth = np.concatenate([s.depth for s in slabs])
+        expected = zbuf.depth.reshape(6, 8)[
+            tile.y0 : tile.y1, tile.x0 : tile.x1
+        ].reshape(-1)
+        np.testing.assert_array_equal(depth, expected)
+
+
+def test_split_wpa_partitions_entries_with_global_pixels():
+    tmap = TileMap.rows(4, 4, 2)
+    wpa = WPABuffer(
+        np.array([0, 5, 9, 15]),  # rows 0, 1, 2, 3
+        np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32),
+        np.full((4, 3), 7, dtype=np.uint8),
+    )
+    parts = split_wpa(wpa, tmap)
+    assert [tile.index for tile, _sub in parts] == [0, 1]
+    np.testing.assert_array_equal(parts[0][1].pixels, [0, 5])
+    np.testing.assert_array_equal(parts[1][1].pixels, [9, 15])
+    # Pixel indices stay global; the merge converts to tile-local.
+    assert parts[1][1].pixels.min() >= 8
+
+
+def test_split_wpa_drops_uncovered_entries():
+    from repro.core.tiles import Tile
+
+    half = TileMap(4, 4, [Tile(0, 0, 0, 4, 2, 0)])  # bottom half uncovered
+    wpa = WPABuffer(
+        np.array([0, 15]),
+        np.array([1.0, 2.0], dtype=np.float32),
+        np.zeros((2, 3), dtype=np.uint8),
+    )
+    parts = split_wpa(wpa, half)
+    assert len(parts) == 1
+    np.testing.assert_array_equal(parts[0][1].pixels, [0])
+
+
+# -- merge / gather filters --------------------------------------------------
+
+
+@pytest.mark.parametrize("algorithm", ["zbuffer", "active"])
+def test_tiled_equals_single_merge(algorithm):
+    zbufs = [soup_zbuffer(16, 12, 6, seed=s) for s in range(3)]
+    ref = single_merge(zbufs, 16, 12)
+    for tmap in (
+        TileMap.rows(16, 12, 4, 2),
+        TileMap.rows(16, 12, 5),  # non-divisible bands
+        TileMap.grid(16, 12, 4, 3),
+    ):
+        out = run_tiled(zbufs, tmap, algorithm)
+        np.testing.assert_array_equal(out.image, ref.image())
+        assert out.active_pixels == ref.active_pixels()
+
+
+def test_zero_fragment_tile_stays_background():
+    # All fragments in the top row band; the other owners see nothing.
+    zbuf = ZBuffer(8, 8)
+    zbuf.merge_entries(
+        np.array([0, 1]),
+        np.array([1.0, 2.0], dtype=np.float32),
+        np.full((2, 3), 9, dtype=np.uint8),
+    )
+    tmap = TileMap.rows(8, 8, 4)
+    out = run_tiled([zbuf], tmap, "active")
+    assert out.active_pixels == 2
+    np.testing.assert_array_equal(out.image, zbuf.image())
+    assert out.image[2:].max() == 0  # untouched tiles stay black
+
+
+def test_merge_requires_tile_tag():
+    tm = TileMergeFilter(TileMap.rows(4, 4, 2), "zbuffer")
+    col = Collector()
+    tm.init(col.ctx)
+    slab = TileSlab(
+        0, 0, np.zeros(1, dtype=np.float32), np.zeros((1, 3), dtype=np.uint8)
+    )
+    with pytest.raises(EngineError, match="'tile' tag"):
+        tm.handle(col.ctx, DataBuffer(8, slab))
+
+
+def test_merge_rejects_unknown_algorithm():
+    from repro.errors import DataError
+
+    with pytest.raises(DataError, match="algorithm"):
+        TileMergeFilter(TileMap.rows(4, 4, 2), "painter")
+
+
+def test_merge_emits_one_tile_image_per_seen_tile():
+    tmap = TileMap.rows(4, 4, 2, 2)
+    tm = TileMergeFilter(tmap, "active")
+    col = Collector()
+    tm.init(col.ctx)
+    wpa = WPABuffer(
+        np.array([0]),
+        np.array([1.0], dtype=np.float32),
+        np.full((1, 3), 5, dtype=np.uint8),
+    )
+    tm.handle(col.ctx, DataBuffer(8, wpa, tags={"tile": 0}))
+    tm.handle(col.ctx, DataBuffer(8, wpa, tags={"tile": 0}))
+    tm.flush(col.ctx)
+    assert len(col.written) == 1
+    payload = col.written[0].payload
+    assert isinstance(payload, TileImage)
+    assert payload.tile == 0
+    assert payload.buffers_merged == 2
+    assert payload.active_pixels == 1
+    assert col.written[0].tags == {"tile": 0}
+
+
+def test_gather_result_before_run_raises():
+    gather = TileGatherFilter(4, 4)
+    with pytest.raises(EngineError, match="run the pipeline first"):
+        gather.result()
+    col = Collector()
+    gather.init(col.ctx)
+    with pytest.raises(EngineError, match="run the pipeline first"):
+        gather.result()  # init alone is not a completed run
+    gather.flush(col.ctx)
+    result = gather.result()
+    assert result.image.shape == (4, 4, 3)
+    assert result.active_pixels == 0
+
+
+# -- the paper's consistency property, tiled edition -------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 2**16),
+    triangles=st.integers(0, 8),
+    rasters=st.integers(1, 3),
+    n_tiles=st.integers(1, 9),
+    data=st.data(),
+)
+def test_property_tiled_matches_single_merge(
+    seed, triangles, rasters, n_tiles, data
+):
+    width, height = 13, 9
+    n_tiles = min(n_tiles, height)
+    owners = data.draw(st.integers(1, n_tiles))
+    algorithm = data.draw(st.sampled_from(["zbuffer", "active"]))
+    zbufs = [
+        soup_zbuffer(width, height, triangles, seed=seed + i)
+        for i in range(rasters)
+    ]
+    tmap = TileMap.rows(width, height, n_tiles, owners)
+    ref = single_merge(zbufs, width, height)
+    out = run_tiled(zbufs, tmap, algorithm, entries_per_buffer=17)
+    np.testing.assert_array_equal(out.image, ref.image())
+    assert out.active_pixels == ref.active_pixels()
