@@ -61,6 +61,7 @@ def pipeline_report():
         not report["engines"]
         and "warm_pool" not in report
         and "merge_scaling" not in report
+        and "deep_analysis" not in report
     ):
         return
     engines = {
@@ -91,4 +92,7 @@ def pipeline_report():
     merge_scaling = report.get("merge_scaling", previous.get("merge_scaling"))
     if merge_scaling:
         payload["merge_scaling"] = merge_scaling
+    deep_analysis = report.get("deep_analysis", previous.get("deep_analysis"))
+    if deep_analysis:
+        payload["deep_analysis"] = deep_analysis
     BENCH_PIPELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,84 @@
+"""Deep-analysis micro-benchmark: the engine-hook passes must stay cheap.
+
+Every engine runs the three deep passes (effect inference, resource
+dataflow, the bounded protocol model checker) at construction, so their
+cost is paid before every pipeline run and every warm-pool query.  This
+bench times ``verify_pipeline(deep=True)`` at the engine-hook bounds
+over the four IsosurfaceApp decompositions and asserts the whole sweep
+stays under 250 ms; per-config wall times are recorded into
+``BENCH_pipeline.json`` under ``deep_analysis``.
+
+The bound is the *truncated* engine pass (``protocol_max_states=4000``,
+F904 INFO on truncation); the exhaustive deadlock-freedom proofs —
+~210k states for R-E-Ra-M on two hosts — live in
+``tests/analysis/test_protocol.py`` and ``repro lint --deep``.
+"""
+
+import time
+
+from repro.analysis import verify_pipeline
+from repro.core.policies import make_policy_factory
+from repro.data import HostDisks, StorageMap
+from repro.viz import IsosurfaceApp
+from repro.viz.profile import DatasetProfile
+
+CONFIGS = ("R-E-Ra-M", "RE-Ra-M", "R-ERa-M", "RERa-M")
+HOSTS = ["h0", "h1"]
+DEEP_BUDGET_S = 0.250
+
+DD = make_policy_factory("DD")
+
+
+def make_app():
+    profile = DatasetProfile.synthetic(
+        "deep-bench", (16, 16, 16), nchunks=8, nfiles=4, timesteps=1,
+        total_triangles=500,
+    )
+    storage = StorageMap.balanced(
+        profile.files, [HostDisks(h) for h in HOSTS]
+    )
+    return IsosurfaceApp(profile, storage, width=32, height=32)
+
+
+def test_deep_passes_within_engine_budget(benchmark, pipeline_report):
+    """All four configs' deep passes together finish inside 250 ms."""
+    app = make_app()
+    targets = []
+    for config in CONFIGS:
+        overrides = app.policy_overrides(config)
+        targets.append(
+            (
+                config,
+                app.graph(config),
+                app.placement(config, compute_hosts=HOSTS),
+                lambda s, o=overrides: o.get(s, DD),
+            )
+        )
+
+    per_config = {}
+
+    def sweep():
+        total_rules = []
+        for config, g, p, policy_for in targets:
+            t0 = time.perf_counter()
+            report = verify_pipeline(
+                g, p, known_hosts=HOSTS, policy_for=policy_for, deep=True
+            )
+            per_config[config] = round(time.perf_counter() - t0, 6)
+            assert not report.errors, report.rule_ids()
+            total_rules.append(len(report.diagnostics))
+        return total_rules
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    elapsed = sum(per_config.values())
+    assert elapsed < DEEP_BUDGET_S, (
+        f"deep passes took {elapsed * 1000:.1f} ms over {len(CONFIGS)} "
+        f"configs (budget {DEEP_BUDGET_S * 1000:.0f} ms): {per_config}"
+    )
+    pipeline_report["deep_analysis"] = {
+        "configs": per_config,
+        "total_s": round(elapsed, 6),
+        "budget_s": DEEP_BUDGET_S,
+        "protocol_max_states": 4000,
+    }
+    benchmark.extra_info["per_config_s"] = per_config

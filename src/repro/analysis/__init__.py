@@ -1,6 +1,6 @@
 """Static analysis of filter pipelines and filter code.
 
-Two passes, both reporting structured :class:`Diagnostic` objects with a
+Five passes, all reporting structured :class:`Diagnostic` objects with a
 stable rule id, a severity and a fix hint (see
 :mod:`repro.analysis.rules` for the catalogue):
 
@@ -17,15 +17,48 @@ become ``analysis`` trace events.
 **Pass 2 — filter-code lint** (:func:`lint_file` / :func:`lint_class`):
 stdlib-``ast`` checks over :class:`~repro.core.filter.Filter` subclasses
 — payload mutation after ``ctx.write``, silent filters that never feed
-their consumers, blocking calls in the per-buffer callback, and
-unpicklable state that cannot cross the process engine's fork/pickle
-boundary.  Nothing is imported or executed, so it lints untrusted
-pipeline definitions safely.
+their consumers, blocking calls in the per-buffer callback, unpicklable
+state that cannot cross the process engine's fork/pickle boundary, and
+content-routed policies whose ``route()`` ignores its tags.  Nothing is
+imported or executed, so it lints untrusted pipeline definitions safely.
 
-Both passes drive the ``repro lint`` CLI and the CI self-check.
+**Deep passes** (``verify_pipeline(..., deep=True)`` / ``repro lint
+--deep``), run by the engines at construction:
+
+- **effects** (:mod:`repro.analysis.effects`, ``E7xx``): AST effect and
+  purity inference per filter class (PURE / STATEFUL / IO /
+  NONDETERMINISTIC), rolled up to subgraphs;
+  :func:`certify_memoisable` is the purity gate for result caches.
+- **dataflow** (:mod:`repro.analysis.dataflow`, ``M8xx``): symbolic
+  propagation of declared buffer sizes and dtypes through graph +
+  placement — per-host queue/window high-water bounds, shared-memory
+  slab mismatches, tile fan-in bursts, transitive dtype conflicts.
+- **protocol** (:mod:`repro.analysis.protocol`, ``F9xx``): a bounded
+  model checker over the credit/ack/close protocol proving
+  deadlock-freedom and EOW delivery, with counterexample event traces.
+
+All passes drive the ``repro lint`` CLI and the CI self-check.
 """
 
+from repro.analysis.dataflow import (
+    DataflowResult,
+    EdgeFlow,
+    HostLoad,
+    compute_dataflow,
+    verify_dataflow,
+)
 from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.analysis.effects import (
+    Effect,
+    EffectSummary,
+    MemoCertificate,
+    certify_memoisable,
+    graph_effects,
+    infer_class_effects,
+    spec_effects,
+    subgraph_effect,
+    verify_effects,
+)
 from repro.analysis.filtercode import (
     lint_class,
     lint_file,
@@ -38,6 +71,14 @@ from repro.analysis.pipeline import (
     verify_graph,
     verify_pipeline,
     verify_placement,
+)
+from repro.analysis.protocol import (
+    ProtocolModel,
+    ProtocolResult,
+    build_model,
+    check_model,
+    check_protocol,
+    verify_protocol,
 )
 from repro.analysis.report import (
     format_rule_catalogue,
@@ -59,6 +100,26 @@ __all__ = [
     "verify_flow",
     "verify_buffers",
     "verify_pipeline",
+    "Effect",
+    "EffectSummary",
+    "MemoCertificate",
+    "infer_class_effects",
+    "spec_effects",
+    "graph_effects",
+    "subgraph_effect",
+    "certify_memoisable",
+    "verify_effects",
+    "EdgeFlow",
+    "HostLoad",
+    "DataflowResult",
+    "compute_dataflow",
+    "verify_dataflow",
+    "ProtocolModel",
+    "ProtocolResult",
+    "build_model",
+    "check_model",
+    "check_protocol",
+    "verify_protocol",
     "lint_source",
     "lint_file",
     "lint_class",

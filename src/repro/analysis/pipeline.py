@@ -12,13 +12,16 @@ wrappers on :class:`~repro.core.graph.FilterGraph` and
 
 from __future__ import annotations
 
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Mapping
 from typing import TYPE_CHECKING
 
 import networkx as nx
 import numpy as np
 
-from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+from repro.analysis.dataflow import verify_dataflow
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, Severity
+from repro.analysis.effects import verify_effects
+from repro.analysis.protocol import verify_protocol
 from repro.analysis.rules import RULES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
@@ -405,6 +408,9 @@ def verify_pipeline(
     policy_for: "Callable[[str], Callable[[], WriterPolicy]] | None" = None,
     queue_capacity: int = 8,
     codec: "BufferCodec | None" = None,
+    deep: bool = False,
+    host_memory: Mapping[str, int] | None = None,
+    protocol_max_states: int = 4_000,
 ) -> DiagnosticReport:
     """Run every applicable pipeline rule and return the full report.
 
@@ -413,6 +419,14 @@ def verify_pipeline(
     rules need a ``codec``.  Nothing raises — gate on
     :meth:`DiagnosticReport.raise_errors` /
     :attr:`DiagnosticReport.errors`.
+
+    With ``deep=True`` the three deep passes run as well: effect/purity
+    inference (``E7xx``), symbolic resource dataflow (``M8xx``, host
+    budgets via ``host_memory``) and the flow-control protocol model
+    checker (``F9xx``).  The protocol pass only runs when the shallow
+    rules found no errors — a structurally broken pipeline wedges for
+    reasons the G/P/Z rules already name — and is bounded by
+    ``protocol_max_states`` so it stays cheap at engine construction.
     """
     report = DiagnosticReport()
     report.extend(verify_graph(graph))
@@ -423,6 +437,26 @@ def verify_pipeline(
                 verify_flow(graph, placement, policy_for, queue_capacity)
             )
     report.extend(verify_buffers(graph, codec))
+    if deep:
+        report.extend(verify_effects(graph))
+        report.extend(
+            verify_dataflow(
+                graph, placement, policy_for, queue_capacity, codec, host_memory
+            )
+        )
+        shallow_clean = not any(
+            d.severity >= Severity.ERROR for d in report.diagnostics
+        )
+        if shallow_clean:
+            report.extend(
+                verify_protocol(
+                    graph,
+                    placement,
+                    policy_for,
+                    queue_capacity,
+                    max_states=protocol_max_states,
+                )
+            )
     # Deterministic presentation: errors first, then by rule id/subject.
     report.diagnostics.sort(
         key=lambda d: (-int(d.severity), d.rule, d.subject, d.message)

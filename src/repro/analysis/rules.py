@@ -9,6 +9,9 @@ Rule ids are stable and grouped by scope:
 ``Z4xx``   phase synchronisation (pipeline verifier)
 ``B5xx``   buffer size / payload dtype vs the codec (pipeline verifier)
 ``C6xx``   filter code (AST lint)
+``E7xx``   filter effects / purity (deep pass 1)
+``M8xx``   symbolic resource dataflow (deep pass 2)
+``F9xx``   flow-control protocol model checking (deep pass 3)
 =========  ===============================================================
 
 Each :class:`Rule` carries a default severity and a generic fix hint; a
@@ -299,4 +302,129 @@ _rule(
     "next.",
     "Reset every accumulator in init() — it runs once per cycle, before "
     "the first buffer; __init__ runs only once per copy lifetime.",
+)
+_rule(
+    "C606", "route-ignores-tile-owner", Severity.WARNING, "code",
+    "A content-routed writer policy overrides route() without ever "
+    "reading its tags argument; every tile-tagged buffer is routed "
+    "blindly, so merge copies receive tiles they do not own (the "
+    "code-level twin of the graph-level Z404 mismatch).",
+    "Route on tags['tile_owner'] inside route(), or subclass a "
+    "capacity-based policy instead of a content-routed one.",
+)
+
+# -- E7xx: filter effects / purity (deep pass 1) -----------------------------
+_rule(
+    "E701", "declared-effect-mismatch", Severity.WARNING, "effects",
+    "A filter's declared effects class is weaker than what its code "
+    "infers (e.g. declared pure, but the class writes self attributes "
+    "or does I/O); memoisation and replay decisions based on the "
+    "declaration would be unsound.",
+    "Fix the declaration on add_filter(..., effects=...) or make the "
+    "filter match it.",
+)
+_rule(
+    "E702", "nondeterministic-filter", Severity.WARNING, "effects",
+    "A filter draws on nondeterministic inputs (random, time, uuid); "
+    "replaying or rebinding the pipeline cannot reproduce its output "
+    "and cached results are unverifiable.",
+    "Seed the randomness from the unit-of-work descriptor, or declare "
+    "effects='nondeterministic' so caching layers skip the filter.",
+)
+_rule(
+    "E703", "impure-memoisation", Severity.ERROR, "effects",
+    "A subgraph submitted for memoisation certification contains a "
+    "filter that is not pure (stateful, I/O-bound or nondeterministic); "
+    "caching its output would replay stale state.",
+    "Memoise only pure subgraphs; split the impure filter out of the "
+    "cached region.",
+)
+_rule(
+    "E704", "unknown-effect", Severity.WARNING, "effects",
+    "A filter in a memoisation candidate has no declared effects and "
+    "its factory cannot be resolved to a class for inference; the "
+    "certifier must assume the worst.",
+    "Declare add_filter(..., effects=...) or use a class (or a lambda "
+    "closing over one) as the factory so the inferencer can see it.",
+)
+_rule(
+    "E705", "non-convex-subgraph", Severity.ERROR, "effects",
+    "A memoisation candidate subgraph is not convex: a path leaves the "
+    "subgraph and re-enters it, so the cached region's inputs depend on "
+    "its own outputs and a cache hit would starve the outside path.",
+    "Memoise convex subgraphs only: include every filter on every path "
+    "between members.",
+)
+
+# -- M8xx: symbolic resource dataflow (deep pass 2) --------------------------
+_rule(
+    "M801", "host-memory-overcommit", Severity.WARNING, "memory",
+    "The static high-water bound of queued + windowed buffers on a host "
+    "exceeds its declared memory budget; under backpressure the host "
+    "pages or OOMs exactly when the pipeline is busiest.",
+    "Shrink queue_capacity, policy windows or declared buffer sizes, or "
+    "spread the heavy copy sets across more hosts.",
+)
+_rule(
+    "M802", "slab-payload-mismatch", Severity.WARNING, "memory",
+    "A stream's declared buffer size falls just below the codec's "
+    "shared-memory threshold: every payload is pickled inline through "
+    "the bounded control queue instead of travelling as a shared-memory "
+    "slab, so the queue pipe carries near-slab-sized byte strings.",
+    "Lower BufferCodec.shm_threshold below the declared buffer size, or "
+    "batch payloads into larger slabs that cross the threshold.",
+)
+_rule(
+    "M803", "tile-fanin-burst", Severity.WARNING, "memory",
+    "At the end-of-work phase boundary every producer copy flushes one "
+    "fragment per tile; the bound of fragments converging on the "
+    "busiest tile owner exceeds its copy-set queue, so producers "
+    "serialise on blocking puts exactly at the merge barrier.",
+    "Raise queue_capacity, spread tiles over more owners, or reduce "
+    "producer copies feeding the tile-mapped merge.",
+)
+_rule(
+    "M804", "dtype-chain-conflict", Severity.WARNING, "memory",
+    "Propagating declared payload dtypes through pass-through filters "
+    "reaches a consumer whose declared input dtype differs: the "
+    "mismatch B501 cannot see locally exists across the chain.",
+    "Align the declared dtypes along the chain, or declare the "
+    "converting filter's output_dtype explicitly.",
+)
+
+# -- F9xx: flow-control protocol model checking (deep pass 3) ----------------
+_rule(
+    "F901", "protocol-deadlock", Severity.ERROR, "protocol",
+    "Bounded exploration of the credit/ack/close protocol reached a "
+    "state where no copy set can make progress: a cycle of blocking "
+    "sends and unconsumed queues wedges the pipeline before end-of-work "
+    "can propagate.",
+    "Break the blocking cycle shown in the event trace (reorder the "
+    "graph, raise queue capacity, or unblock the stalled consumer).",
+)
+_rule(
+    "F902", "dd-credit-deadlock", Severity.ERROR, "protocol",
+    "A demand-driven (or rate-based) sliding window wedges: a producer "
+    "sits on a full window whose acks can never arrive because the "
+    "consumer is itself blocked sending — a credit cycle, typically "
+    "through a feedback edge into a tile-routed merge.",
+    "Remove the feedback edge (filter graphs must be DAGs), or widen "
+    "the window / queue so the ack cycle cannot close.",
+)
+_rule(
+    "F903", "eow-delivery-wedge", Severity.ERROR, "protocol",
+    "End-of-work delivery is not guaranteed: a producer finishes its "
+    "work but can never deliver its end-of-work marker (the consumer "
+    "queue stays full or the consumer never drains it), so downstream "
+    "phase boundaries wait forever — the close-while-busy wedge.",
+    "Ensure every consumer keeps draining until all markers arrive "
+    "(crash supervision must drain or fail the queue, not abandon it).",
+)
+_rule(
+    "F904", "state-space-truncated", Severity.INFO, "protocol",
+    "The protocol model checker hit its state or size budget before "
+    "exhausting the reachable state space; deadlock-freedom is verified "
+    "only up to the explored bound.",
+    "Re-run repro.analysis.protocol.check_protocol directly with a "
+    "higher max_states for a complete proof.",
 )

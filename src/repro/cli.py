@@ -35,11 +35,14 @@ Six subcommands::
         exported with ``--trace-out`` (either engine).
 
     python -m repro.cli lint [PATH ...] [--graph-module MOD[:ATTR]]
-                             [--format text|json] [--process] [--rules]
+                             [--format text|json] [--process] [--deep]
+                             [--protocol-max-states N] [--rules]
         Run the static analysis layer (:mod:`repro.analysis`): AST-lint
         filter code in the given files (nothing is imported) and/or
-        verify a live graph+placement from an imported module.  Exits 1
-        when any ERROR-level diagnostic fires.
+        verify a live graph+placement from an imported module.  With
+        ``--deep``, the effect-inference (E7xx), resource-dataflow (M8xx)
+        and protocol model-checker (F9xx) passes run on the imported
+        graphs too.  Exits 1 when any ERROR-level diagnostic fires.
 
 Both engines emit the same trace schema (:mod:`repro.core.tracing`), so
 ``--trace``/``--trace-out`` work identically on ``render`` (threaded,
@@ -287,6 +290,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                     placement,
                     policy_for=(lambda _stream: policy_factory),
                     queue_capacity=args.queue_capacity,
+                    deep=args.deep,
+                    protocol_max_states=args.protocol_max_states,
                 )
             )
             report.extend(
@@ -308,10 +313,11 @@ def _load_graph_objects(spec: str) -> list:
     """Resolve ``module[:attr]`` into ``(graph, placement, file)`` triples.
 
     ``attr`` may be a :class:`~repro.core.graph.FilterGraph`, a zero-arg
-    callable returning one, or a callable returning a ``(graph,
-    placement)`` tuple.  Without ``attr``, module-level FilterGraph and
-    Placement instances are discovered (a sole Placement is paired with
-    every discovered graph).
+    callable returning one, a callable returning a ``(graph, placement)``
+    tuple, or a callable returning a *list* of such graphs/tuples (one
+    lint target per configuration).  Without ``attr``, module-level
+    FilterGraph and Placement instances are discovered (a sole Placement
+    is paired with every discovered graph).
     """
     import importlib
     import inspect
@@ -342,6 +348,8 @@ def _load_graph_objects(spec: str) -> list:
         obj = getattr(module, attr)
         if callable(obj) and not isinstance(obj, FilterGraph):
             obj = obj()
+        if isinstance(obj, list):
+            return [(*as_pair(item), module_file) for item in obj]
         graph, placement = as_pair(obj)
         return [(graph, placement, module_file)]
 
@@ -510,6 +518,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="writer policy assumed for flow-control rules")
     p_lint.add_argument("--queue-capacity", type=int, default=8,
                         help="queue bound assumed for flow-control rules")
+    p_lint.add_argument("--deep", action="store_true",
+                        help="run the deep passes on --graph-module graphs: "
+                             "effect inference (E7xx), resource dataflow "
+                             "(M8xx) and the protocol model checker (F9xx)")
+    p_lint.add_argument("--protocol-max-states", type=int, default=4_000,
+                        help="state-space bound for the --deep model "
+                             "checker; raise it for an exhaustive "
+                             "deadlock-freedom proof instead of an F904 "
+                             "truncation note")
     p_lint.add_argument("--rules", action="store_true",
                         help="print the rule catalogue and exit")
     p_lint.set_defaults(func=_cmd_lint)

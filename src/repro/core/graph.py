@@ -50,6 +50,16 @@ class FilterSpec:
         viewport.  The verifier checks the map's geometry (``Z402``), the
         tile-owner -> copy-set correspondence (``Z403``) and the pairing
         with a content-routed writer policy (``Z404``/``Z405``).
+    ``effects``
+        Declared effects class of the filter code: one of ``"pure"``,
+        ``"stateful"``, ``"io"`` or ``"nondeterministic"``.  The effect
+        inference pass (:mod:`repro.analysis.effects`) checks the
+        declaration against the filter class's code (``E701``) and the
+        memoisation certifier trusts it.
+    ``output_buffers``
+        Nominal number of buffers the filter emits per unit of work;
+        together with ``output_nbytes`` it gives the dataflow pass a
+        bytes-per-UOW figure for each outgoing stream.
     """
 
     name: str
@@ -63,6 +73,8 @@ class FilterSpec:
     output_dtype: str | None = None
     output_nbytes: int | None = None
     tile_map: Any | None = None
+    effects: str | None = None
+    output_buffers: int | None = None
 
     def __repr__(self) -> str:
         return f"<FilterSpec {self.name}>"
@@ -107,6 +119,8 @@ class FilterGraph:
         output_dtype: str | None = None,
         output_nbytes: int | None = None,
         tile_map: Any | None = None,
+        effects: str | None = None,
+        output_buffers: int | None = None,
     ) -> FilterSpec:
         """Register a logical filter.  Names must be unique.
 
@@ -117,6 +131,14 @@ class FilterGraph:
             raise GraphError("filter name must be non-empty")
         if name in self.filters:
             raise GraphError(f"duplicate filter {name!r}")
+        if effects is not None:
+            from repro.analysis.effects import EFFECT_NAMES
+
+            if effects not in EFFECT_NAMES:
+                raise GraphError(
+                    f"filter {name!r} declares unknown effects class "
+                    f"{effects!r}; expected one of {sorted(EFFECT_NAMES)}"
+                )
         spec = FilterSpec(
             name=name,
             factory=factory,
@@ -127,6 +149,8 @@ class FilterGraph:
             output_dtype=output_dtype,
             output_nbytes=output_nbytes,
             tile_map=tile_map,
+            effects=effects,
+            output_buffers=output_buffers,
         )
         self.filters[name] = spec
         return spec

@@ -105,6 +105,7 @@ class Tracer:
         self.queue_samples: list[QueueSample] = []
         self.dropped = 0
         self._lock = threading.Lock()
+        self._analysis_seen: set[tuple[str, str]] = set()
 
     # -- recording -------------------------------------------------------------
     def record(self, time: float, copy: str, kind: str, detail: str = "") -> None:
@@ -119,6 +120,21 @@ class Tracer:
                 self.dropped += 1
                 return
             self.events.append(TraceEvent(time, copy, kind, detail))
+
+    def note_analysis(self, rule: str, subject: str) -> bool:
+        """Claim one ``(rule, subject)`` analysis finding for this tracer.
+
+        Returns True the first time a pair is seen and False afterwards.
+        Engines re-verify graphs that the application already verified at
+        construction; keying the ``analysis`` events on (rule, subject)
+        keeps each finding from appearing twice in one trace.
+        """
+        key = (rule, subject)
+        with self._lock:
+            if key in self._analysis_seen:
+                return False
+            self._analysis_seen.add(key)
+            return True
 
     def sample_queue(self, time: float, queue: str, depth: int) -> None:
         """Record the instantaneous depth of one copy-set queue."""

@@ -45,6 +45,7 @@ def validate_run_setup(
     known_hosts: "Iterable[str] | None" = None,
     codec: "BufferCodec | None" = None,
     factory_slot: str = "factory",
+    deep: bool = True,
 ) -> "DiagnosticReport":
     """Shared constructor checks of every engine: the static verifier.
 
@@ -53,7 +54,9 @@ def validate_run_setup(
     when the engine has a cluster; the real engines treat host names as
     labels), writer-policy flow control and buffer/codec declarations —
     plus the engine-specific requirements (a ``factory``/``sim_factory``
-    per filter, a sane queue bound).
+    per filter, a sane queue bound).  With ``deep=True`` (the default)
+    the effect-inference, resource-dataflow and protocol model-checker
+    passes run too, under conservative state-space bounds.
 
     ERROR-level diagnostics raise immediately (:class:`GraphError` /
     :class:`PlacementError` / :class:`~repro.errors.AnalysisError` by rule
@@ -62,6 +65,8 @@ def validate_run_setup(
     """
     from repro.analysis.pipeline import verify_pipeline
 
+    if queue_capacity < 1:
+        raise EngineError(f"queue_capacity must be >= 1, got {queue_capacity}")
     if known_hosts is None:
         known_hosts = {
             cs.host
@@ -75,6 +80,7 @@ def validate_run_setup(
         policy_for=policy_for,
         queue_capacity=queue_capacity,
         codec=codec,
+        deep=deep,
     )
     report.raise_errors()
     for spec in graph.filters.values():
@@ -83,18 +89,24 @@ def validate_run_setup(
                 f"filter {spec.name!r} has no {factory_slot}; the "
                 f"{engine_name} engine needs one per filter"
             )
-    if queue_capacity < 1:
-        raise EngineError(f"queue_capacity must be >= 1, got {queue_capacity}")
     return report
 
 
 def emit_analysis_events(
     tracer: "Tracer | None", report: "DiagnosticReport | None", time: float
 ) -> None:
-    """Record the verifier's WARNING diagnostics as ``analysis`` events."""
+    """Record the verifier's WARNING diagnostics as ``analysis`` events.
+
+    Each ``(rule, subject)`` pair is recorded at most once per tracer:
+    engines re-verify graphs that applications already verified at
+    construction, and without the dedup every finding would appear twice
+    in the same trace.
+    """
     if tracer is None or report is None:
         return
     for diag in report.warnings:
+        if not tracer.note_analysis(diag.rule, diag.subject):
+            continue
         tracer.record(
             time, diag.subject, "analysis", f"{diag.rule}: {diag.message}"
         )

@@ -49,6 +49,7 @@ from repro.core.instrument import DEFAULT_ACK_BYTES, RunMetrics
 from repro.core.placement import Placement
 from repro.core.policies import PolicyFactory
 from repro.core.tracing import Tracer
+from repro.engines.base import emit_analysis_events
 from repro.engines.process import (
     _EOW,
     _STOP,
@@ -143,6 +144,7 @@ class WarmPool(ProcessEngine):
         start_method: "str | None" = None,
         max_inflight: int = 2,
         idle_timeout: "float | None" = None,
+        deep_analysis: bool = True,
     ):
         super().__init__(
             graph,
@@ -154,6 +156,7 @@ class WarmPool(ProcessEngine):
             tracer=None,
             codec=codec,
             start_method=start_method,
+            deep_analysis=deep_analysis,
         )
         if max_inflight < 1:
             raise EngineError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -329,6 +332,7 @@ class WarmPool(ProcessEngine):
             self._next_cycle += 1
             if tracer is not None and not tracer.clock:
                 tracer.clock = "wall"
+            emit_analysis_events(tracer, self._analysis_report, 0.0)
             pending = PendingQuery(k, tracer, t0=self._clock())
             with self._lock:
                 self._pending[k] = pending

@@ -547,6 +547,7 @@ class ProcessEngine(Engine):
         tracer: "Tracer | None" = None,
         codec: "BufferCodec | None" = None,
         start_method: str | None = None,
+        deep_analysis: bool = True,
     ):
         self._default_factory = self._resolve(policy)
         self._stream_factories = {
@@ -556,6 +557,7 @@ class ProcessEngine(Engine):
         self._analysis_report = validate_run_setup(
             graph, placement, queue_capacity, "process",
             policy_for=self._policy_for, codec=self.codec,
+            deep=deep_analysis,
         )
         start_method = start_method or "fork"
         if start_method not in multiprocessing.get_all_start_methods():

@@ -163,6 +163,7 @@ class SimulatedEngine(Engine):
         queue_capacity: int = DEFAULT_QUEUE_CAPACITY,
         ack_nbytes: int = DEFAULT_ACK_BYTES,
         tracer: "Tracer | None" = None,
+        deep_analysis: bool = True,
     ):
         self._default_factory = self._resolve(policy)
         self._stream_factories = {
@@ -171,7 +172,7 @@ class SimulatedEngine(Engine):
         self._analysis_report = validate_run_setup(
             graph, placement, queue_capacity, "simulated",
             policy_for=self._policy_for, known_hosts=cluster.hosts,
-            factory_slot="sim_factory",
+            factory_slot="sim_factory", deep=deep_analysis,
         )
         self.cluster = cluster
         self.env: Environment = cluster.env

@@ -169,6 +169,7 @@ class ThreadedEngine(Engine):
         ack_nbytes: int = DEFAULT_ACK_BYTES,
         tracer: "Tracer | None" = None,
         codec: "BufferCodec | None" = None,
+        deep_analysis: bool = True,
     ):
         self._default_factory = self._resolve(policy)
         self._stream_factories = {
@@ -176,7 +177,7 @@ class ThreadedEngine(Engine):
         }
         self._analysis_report = validate_run_setup(
             graph, placement, queue_capacity, "threaded",
-            policy_for=self._policy_for, codec=codec,
+            policy_for=self._policy_for, codec=codec, deep=deep_analysis,
         )
         self.graph = graph
         self.placement = placement

@@ -201,11 +201,14 @@ class IsosurfaceApp:
                 # Z401).
                 "M",
                 phase_synchronised=self.algorithm == "zbuffer",
+                effects="stateful",
             )
             g.connect(upstream, "M")
             return
-        g.add_filter("TM", phase_synchronised=True, tile_map=tmap)
-        g.add_filter("M", phase_synchronised=True)
+        g.add_filter(
+            "TM", phase_synchronised=True, tile_map=tmap, effects="stateful"
+        )
+        g.add_filter("M", phase_synchronised=True, effects="stateful")
         g.connect(upstream, "TM")
         g.connect("TM", "M")
 
@@ -315,12 +318,14 @@ class IsosurfaceApp:
                 )
             ),
             is_source=True,
+            effects="io",
         )
         g.add_filter(
             "E",
             factory=self._real_or_none(lambda: real.ExtractFilter(self.isovalue)),
+            effects="pure",
         )
-        g.add_filter("Ra")
+        g.add_filter("Ra", effects="stateful")
         g.connect("R", "E")
         g.connect("E", "Ra")
         self._attach_merge(g, "Ra")
@@ -355,8 +360,9 @@ class IsosurfaceApp:
                 )
             ),
             is_source=True,
+            effects="io",
         )
-        g.add_filter("Ra")
+        g.add_filter("Ra", effects="stateful")
         g.connect("RE", "Ra")
         self._attach_merge(g, "Ra")
         eff = self._negotiate(
@@ -382,6 +388,7 @@ class IsosurfaceApp:
                 )
             ),
             is_source=True,
+            effects="io",
         )
         g.add_filter(
             "ERa",
@@ -393,6 +400,7 @@ class IsosurfaceApp:
                     tile_map=self.tile_map(),
                 )
             ),
+            effects="stateful",
         )
         g.connect("R", "ERa")
         self._attach_merge(g, "ERa")
@@ -429,6 +437,7 @@ class IsosurfaceApp:
                 )
             ),
             is_source=True,
+            effects="io",
         )
         self._attach_merge(g, "RERa")
         eff = self._negotiate(g, {self.merge_stream("RERa-M"): "merge"})

@@ -1,0 +1,177 @@
+"""Symbolic resource dataflow (M8xx): byte propagation and host bounds."""
+
+from repro.analysis import compute_dataflow, verify_dataflow
+from repro.core.buffer import BufferCodec
+from repro.core.graph import FilterGraph
+from repro.core.placement import Placement
+from repro.core.policies import make_policy_factory
+from repro.core.tiles import TileMap
+
+
+def placed(mapping):
+    p = Placement()
+    for name, copysets in mapping.items():
+        p.place(name, copysets)
+    return p
+
+
+def rules_of(diags):
+    return {d.rule for d in diags}
+
+
+def chain(nbytes=1024, buffers=4):
+    g = FilterGraph()
+    g.add_filter(
+        "src", is_source=True, output_nbytes=nbytes, output_buffers=buffers
+    )
+    g.add_filter("mid", output_nbytes=nbytes)
+    g.add_filter("sink")
+    g.connect("src", "mid")
+    g.connect("mid", "sink")
+    return g
+
+
+# -- compute_dataflow ---------------------------------------------------------
+
+
+def test_edge_flows_carry_bytes_per_uow():
+    g = chain(nbytes=100, buffers=7)
+    result = compute_dataflow(g)
+    assert result.edges["src->mid"].nbytes == 100
+    assert result.edges["src->mid"].bytes_per_uow == 700
+    assert result.edges["mid->sink"].bytes_per_uow is None  # no buffer count
+
+
+def test_dtype_propagates_through_passthrough_filters():
+    g = FilterGraph()
+    g.add_filter("a", is_source=True, output_dtype="float32")
+    g.add_filter("fwd")  # declares nothing, single input: pass-through
+    g.add_filter("sink")
+    g.connect("a", "fwd")
+    g.connect("fwd", "sink")
+    result = compute_dataflow(g)
+    assert result.edges["fwd->sink"].dtype == "float32"
+    assert result.edges["fwd->sink"].dtype_origin == "propagated"
+    assert result.edges["a->fwd"].dtype_origin == "declared"
+
+
+def test_host_bounds_sum_queue_and_window_sides():
+    g = chain(nbytes=1000)
+    p = placed({"src": ["h0"], "mid": [("h1", 2)], "sink": ["h1"]})
+    dd = make_policy_factory("DD", window=4)
+    result = compute_dataflow(
+        g, p, policy_for=lambda s: dd, queue_capacity=8
+    )
+    # mid@h1: queue (8+2 copies) x 1000 B; sink@h1: queue (8+1) x 1000 B.
+    # Window side: src@h0 4x1x1000; mid@h1 4x2x1000 on mid->sink.
+    assert result.hosts["h1"].queue_bytes == (8 + 2) * 1000 + (8 + 1) * 1000
+    assert result.hosts["h0"].window_bytes == 4 * 1000
+    assert result.hosts["h1"].window_bytes == 4 * 2 * 1000
+    assert result.hosts["h1"].total_bytes > result.hosts["h0"].total_bytes
+
+
+def test_undeclared_sizes_are_excluded_but_reported():
+    g = FilterGraph()
+    g.add_filter("src", is_source=True)  # no output_nbytes
+    g.add_filter("sink")
+    g.connect("src", "sink")
+    p = placed({"src": ["h0"], "sink": ["h0"]})
+    result = compute_dataflow(g, p)
+    assert result.hosts["h0"].total_bytes == 0
+    assert "src->sink" in result.hosts["h0"].unknown_streams
+
+
+# -- M801 host budget ---------------------------------------------------------
+
+
+def test_m801_fires_when_bound_exceeds_budget():
+    g = chain(nbytes=1 << 20)
+    p = placed({"src": ["h0"], "mid": ["h1"], "sink": ["h1"]})
+    diags = verify_dataflow(
+        g, p, queue_capacity=8, host_memory={"h1": 1 << 20}
+    )
+    hits = [d for d in diags if d.rule == "M801"]
+    assert hits and hits[0].subject == "h1"
+    assert "budget" in hits[0].message
+
+
+def test_m801_silent_within_budget_or_without_budgets():
+    g = chain(nbytes=64)
+    p = placed({"src": ["h0"], "mid": ["h1"], "sink": ["h1"]})
+    assert "M801" not in rules_of(
+        verify_dataflow(g, p, host_memory={"h1": 1 << 30})
+    )
+    assert "M801" not in rules_of(verify_dataflow(g, p))
+
+
+# -- M802 near-slab payloads --------------------------------------------------
+
+
+def test_m802_flags_payloads_just_under_the_shm_threshold():
+    codec = BufferCodec(use_shared_memory=True)
+    g = chain(nbytes=codec.shm_threshold - 1)
+    assert "M802" in rules_of(verify_dataflow(g, codec=codec))
+
+
+def test_m802_silent_for_small_or_slab_sized_payloads():
+    codec = BufferCodec(use_shared_memory=True)
+    small = chain(nbytes=codec.shm_threshold // 4)
+    slab = chain(nbytes=codec.shm_threshold)
+    assert "M802" not in rules_of(verify_dataflow(small, codec=codec))
+    assert "M802" not in rules_of(verify_dataflow(slab, codec=codec))
+
+
+# -- M803 tile fan-in burst ---------------------------------------------------
+
+
+def tile_merge_graph(rows, owners, producers):
+    g = FilterGraph()
+    g.add_filter("ra", is_source=True, output_nbytes=4096)
+    g.add_filter(
+        "tm",
+        phase_synchronised=True,
+        tile_map=TileMap.rows(8, 8, rows, owners),
+    )
+    g.connect("ra", "tm")
+    p = placed({"ra": [("h0", producers)], "tm": [("h1", 1)]})
+    return g, p
+
+
+def test_m803_fires_on_phase_boundary_burst():
+    # 8 producer copies x 4 tiles per owner >> capacity 8.
+    g, p = tile_merge_graph(rows=8, owners=2, producers=8)
+    diags = verify_dataflow(g, p, queue_capacity=8)
+    hits = [d for d in diags if d.rule == "M803"]
+    assert hits and hits[0].subject == "tm"
+    assert "phase boundary" in hits[0].message
+
+
+def test_m803_silent_when_queue_holds_the_burst():
+    g, p = tile_merge_graph(rows=2, owners=2, producers=2)
+    assert "M803" not in rules_of(verify_dataflow(g, p, queue_capacity=8))
+
+
+# -- M804 transitive dtype conflict -------------------------------------------
+
+
+def test_m804_propagated_dtype_vs_consumer_declaration():
+    g = FilterGraph()
+    g.add_filter("a", is_source=True, output_dtype="float32")
+    g.add_filter("fwd")
+    g.add_filter("sink", input_dtype="uint8")
+    g.connect("a", "fwd")
+    g.connect("fwd", "sink")
+    diags = verify_dataflow(g)
+    hits = [d for d in diags if d.rule == "M804"]
+    assert hits and hits[0].subject == "fwd->sink"
+    # The direct B501 check cannot see this: fwd declares nothing.
+
+
+def test_m804_silent_when_chain_is_consistent():
+    g = FilterGraph()
+    g.add_filter("a", is_source=True, output_dtype="float32")
+    g.add_filter("fwd")
+    g.add_filter("sink", input_dtype="float32")
+    g.connect("a", "fwd")
+    g.connect("fwd", "sink")
+    assert verify_dataflow(g) == []

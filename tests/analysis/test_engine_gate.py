@@ -182,3 +182,53 @@ def test_process_engine_records_analysis_warnings():
     assert metrics.result == 1
     analysis = [e for e in tracer.events if e.kind == "analysis"]
     assert any(e.detail.startswith("W301:") for e in analysis)
+
+
+def test_analysis_events_deduplicate_across_reruns():
+    """Re-verifying the same graph must not duplicate trace findings.
+
+    Applications verify at construction and engines verify again per
+    run; ``analysis`` events are keyed by (rule, subject) per tracer so
+    each finding appears exactly once however many times the report is
+    emitted.
+    """
+    g = thread_graph()
+    p = Placement()
+    p.place("src", ["h0"])
+    p.place("mid", [("h0", 1), ("h1", 1)])  # W301 warning
+    p.place("sink", ["h0"])
+    tracer = Tracer()
+    engine = ThreadedEngine(g, p, policy="WRR", tracer=tracer)
+    engine.run()
+    engine.run()  # second unit of work, same tracer: would double pre-fix
+    analysis = [e for e in tracer.events if e.kind == "analysis"]
+    assert analysis
+    keyed = [(e.copy, e.detail) for e in analysis]
+    assert len(keyed) == len(set(keyed)), keyed
+
+
+def test_emit_analysis_events_dedup_is_per_tracer():
+    from repro.engines.base import emit_analysis_events
+
+    g = thread_graph()
+    p = Placement()
+    p.place("src", ["h0"])
+    p.place("mid", [("h0", 1), ("h1", 1)])
+    p.place("sink", ["h0"])
+    engine = ThreadedEngine(g, p, policy="WRR")
+    report = engine._analysis_report
+    first, second = Tracer(), Tracer()
+    emit_analysis_events(first, report, 0.0)
+    emit_analysis_events(first, report, 1.0)  # same tracer: deduped
+    emit_analysis_events(second, report, 0.0)  # fresh tracer: records
+    count = lambda t: len([e for e in t.events if e.kind == "analysis"])  # noqa: E731
+    assert count(first) == count(second) == len(report.warnings) > 0
+
+
+def test_deep_analysis_opt_out():
+    """deep_analysis=False skips the E/M/F passes at construction."""
+    g = thread_graph(effects="pure")  # mid forwards: genuinely pure
+    p = full_placement(g)
+    engine = ThreadedEngine(g, p, deep_analysis=False)
+    rules = engine._analysis_report.rule_ids()
+    assert not any(r.startswith(("E", "M", "F")) for r in rules)

@@ -114,3 +114,56 @@ def test_valid_pipelines_verify_clean_and_run(pipeline):
         [s for s in g.streams.values() if s.dst == "sink"]
     )
     assert metrics.result == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(pipelines())
+def test_valid_pipelines_have_no_protocol_wedge(pipeline):
+    """The model checker never finds a wedge in a valid random pipeline.
+
+    Zero F9xx findings, ever: ``deadlock_free`` is either ``True`` (the
+    bound sufficed for an exhaustive proof — the common case) or ``None``
+    (honest truncation on the largest generated placements, reported as
+    F904 INFO by the verify hook) — never ``False``.
+    """
+    from repro.analysis import check_protocol
+
+    g, p, policy, queue_capacity = pipeline
+    factory = make_policy_factory(policy)
+    result = check_protocol(
+        g,
+        p,
+        policy_for=lambda _stream: factory,
+        queue_capacity=queue_capacity,
+        max_buffers=1,
+        max_states=150_000,
+    )
+    assert result.deadlock_free is not False, result.stuck
+    assert result.rule is None
+    assert result.counterexample == ()
+    if result.exhaustive:
+        assert result.deadlock_free is True
+
+
+@settings(max_examples=25, deadline=None)
+@given(pipelines())
+def test_injected_zero_window_always_yields_counterexample(pipeline):
+    """A zero-credit window (the degenerate DD window/queue pair the real
+    policy constructors refuse to build) must always produce a concrete
+    counterexample trace, whatever the surrounding pipeline shape."""
+    from repro.analysis import check_protocol
+
+    g, p, _policy, queue_capacity = pipeline
+    first_stream = next(iter(g.streams))
+    result = check_protocol(
+        g,
+        p,
+        window_overrides={first_stream: 0},
+        queue_capacity=queue_capacity,
+        max_buffers=1,
+        max_states=150_000,
+    )
+    assert result.deadlock_free is False
+    assert result.counterexample, "a wedge verdict must carry its trace"
+    assert result.rule in {"F901", "F902", "F903"}
+    assert result.stuck

@@ -56,7 +56,7 @@ def test_catalogue_rules_have_hints_and_stable_ids():
     catalogue = rule_catalogue()
     assert len(catalogue) >= 20
     for rule in catalogue:
-        assert rule.id[0] in "GPWZBC"
+        assert rule.id[0] in "GPWZBCEMF"
         assert rule.id[1:].isdigit()
         assert rule.hint, f"{rule.id} missing default fix hint"
 

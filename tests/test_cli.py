@@ -323,3 +323,65 @@ def test_lint_graph_module_attr_callable(tmp_path, capsys, monkeypatch):
 def test_lint_graph_module_import_error(capsys):
     assert main(["lint", "--graph-module", "no.such.module"]) == 2
     assert "cannot load" in capsys.readouterr().err
+
+
+def test_lint_deep_runs_the_deep_passes(tmp_path, capsys, monkeypatch):
+    """--deep adds E7xx/M8xx/F9xx findings shallow lint cannot see."""
+    import json
+
+    (tmp_path / "deepmod.py").write_text(
+        "import random\n"
+        "from repro.core import DataBuffer, Filter\n"
+        "from repro.core.graph import FilterGraph\n"
+        "from repro.core.placement import Placement\n\n"
+        "class Jitter(Filter):\n"
+        "    def handle(self, ctx, buffer):\n"
+        "        ctx.write(DataBuffer(8, payload=random.random()))\n\n"
+        "def build():\n"
+        "    g = FilterGraph()\n"
+        "    g.add_filter('src', is_source=True)\n"
+        "    g.add_filter('jit', factory=Jitter)\n"
+        "    g.connect('src', 'jit')\n"
+        "    p = Placement()\n"
+        "    p.place('src', ['h0'])\n"
+        "    p.place('jit', ['h0'])\n"
+        "    return g, p\n"
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    # Shallow lint: clean.
+    assert main(["lint", "--graph-module", "deepmod:build"]) == 0
+    capsys.readouterr()
+    # Deep lint: the nondeterministic filter surfaces as E702.
+    main(
+        ["lint", "--deep", "--format", "json",
+         "--graph-module", "deepmod:build"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    rules = {d["rule"] for d in payload["diagnostics"]}
+    assert "E702" in rules
+
+
+def test_lint_graph_module_list_of_pairs(tmp_path, capsys, monkeypatch):
+    """A builder may return a list of (graph, placement) lint targets."""
+    (tmp_path / "listmod.py").write_text(
+        "from repro.core.graph import FilterGraph\n"
+        "from repro.core.placement import Placement\n\n"
+        "def build_all():\n"
+        "    out = []\n"
+        "    for tag in ('one', 'two'):\n"
+        "        g = FilterGraph()\n"
+        "        g.add_filter('src', is_source=True)\n"
+        "        g.add_filter('sink')\n"
+        "        g.connect('src', 'sink')\n"
+        "        p = Placement()\n"
+        "        p.place('src', ['h0'])\n"
+        "        p.place('sink', ['h0'])\n"
+        "        out.append((g, p))\n"
+        "    return out\n"
+    )
+    monkeypatch.syspath_prepend(str(tmp_path))
+    assert main(
+        ["lint", "--deep", "--protocol-max-states", "100000",
+         "--graph-module", "listmod:build_all"]
+    ) == 0
+    assert "no diagnostics" in capsys.readouterr().out
