@@ -62,6 +62,7 @@ def pipeline_report():
         and "warm_pool" not in report
         and "merge_scaling" not in report
         and "deep_analysis" not in report
+        and "cache" not in report
     ):
         return
     engines = {
@@ -95,4 +96,7 @@ def pipeline_report():
     deep_analysis = report.get("deep_analysis", previous.get("deep_analysis"))
     if deep_analysis:
         payload["deep_analysis"] = deep_analysis
+    cache = report.get("cache", previous.get("cache"))
+    if cache:
+        payload["cache"] = cache
     BENCH_PIPELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -92,6 +92,17 @@ def main() -> int:
         f"pixels, {response['latency_s'] * 1e3:.1f} ms "
         f"({'warm' if response['warm'] else 'cold'}) -> {args.out}"
     )
+    cache = response.get("cache")
+    if cache and cache.get("mode") != "off":
+        tiers = " ".join(
+            f"{tier}={cache[tier]}"
+            for tier in ("negative", "triangles", "tiles")
+            if tier in cache
+        )
+        print(
+            f"cache: mode={cache['mode']} {tiers} "
+            f"saved={cache.get('bytes_saved', 0)}".rstrip()
+        )
     if "trace" in response:
         print(f"trace: {response['trace']}")
     return 0

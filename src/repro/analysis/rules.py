@@ -355,6 +355,15 @@ _rule(
     "Memoise convex subgraphs only: include every filter on every path "
     "between members.",
 )
+_rule(
+    "E706", "cache-over-uncertified-subgraph", Severity.ERROR, "effects",
+    "A result cache is configured over a subgraph that "
+    "certify_memoisable() rejects (impure or unknown-effect members, or "
+    "a non-convex member set); serving memoised replies from it could "
+    "return results a live run would not produce.",
+    "Attach the cache to a certified subgraph (e.g. the standalone "
+    "extract stage), or run the pipeline uncached.",
+)
 
 # -- M8xx: symbolic resource dataflow (deep pass 2) --------------------------
 _rule(

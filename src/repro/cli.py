@@ -393,6 +393,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         merge_copies=args.merge_copies,
         max_inflight=args.max_inflight,
         pool_idle_timeout=args.idle_timeout,
+        cache_mb=args.cache_mb,
+        cache_scope=args.cache_scope,
     )
     try:
         run_server(
@@ -561,6 +563,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="queries pipelining through one pool")
     p_serve.add_argument("--admission", type=int, default=8,
                          help="concurrent queries admitted before rejecting")
+    p_serve.add_argument("--cache-mb", type=float, default=0.0,
+                         help="result-cache budget in MiB (0 disables "
+                              "caching; see repro.cache)")
+    p_serve.add_argument("--cache-scope", choices=("shared", "pool"),
+                         default="shared",
+                         help="one cache shared by every pool, or a "
+                              "private cache per pool")
     p_serve.add_argument("--idle-timeout", type=float, default=300.0,
                          help="seconds before an idle pool is reaped")
     p_serve.set_defaults(func=_cmd_serve)

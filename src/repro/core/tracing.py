@@ -49,9 +49,11 @@ __all__ = ["EVENT_KINDS", "TraceEvent", "QueueSample", "Tracer"]
 #: WARNING-level findings of the static pipeline verifier
 #: (:mod:`repro.analysis`), recorded at run start with the diagnostic's
 #: subject as the copy label and ``"<rule>: <message>"`` as the detail.
+#: ``cache_hit``/``cache_miss`` events are recorded by the serve layer
+#: (copy label ``"cache"``) with the tier and stored size as the detail.
 EVENT_KINDS = frozenset(
     {"recv", "compute", "io", "send", "ack", "flush", "done", "blocked",
-     "analysis"}
+     "analysis", "cache_hit", "cache_miss"}
 )
 
 #: Event kinds recorded as start/end pairs (spans).

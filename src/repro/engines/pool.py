@@ -130,6 +130,14 @@ class WarmPool(ProcessEngine):
     ``idle_timeout``
         Seconds of no in-flight work after which the pool closes itself
         (``None`` = never).
+    ``cache`` / ``cache_members``
+        Attach a :class:`~repro.cache.ResultCache` to the named subgraph.
+        The attachment is certified *before* any worker forks: an
+        uncertified subgraph raises
+        :class:`~repro.errors.AnalysisError` with the E703–E706
+        diagnostics and no processes are spawned.  The resulting
+        :attr:`cache_binding` carries the subgraph signature callers
+        (``repro.serve``) derive cache keys from.
     """
 
     def __init__(
@@ -145,6 +153,8 @@ class WarmPool(ProcessEngine):
         max_inflight: int = 2,
         idle_timeout: "float | None" = None,
         deep_analysis: bool = True,
+        cache=None,
+        cache_members: "tuple[str, ...] | None" = None,
     ):
         super().__init__(
             graph,
@@ -164,6 +174,18 @@ class WarmPool(ProcessEngine):
         self.idle_timeout = idle_timeout
         self.reaped = False
         self.cycles_completed = 0
+        self.cache_binding = None
+        if cache is not None:
+            if not cache_members:
+                raise EngineError(
+                    "cache attachment needs cache_members naming the "
+                    "memoised subgraph"
+                )
+            from repro.cache import bind_cache
+
+            # Certify before forking: a refused binding must not leak
+            # worker processes.
+            self.cache_binding = bind_cache(graph, cache_members, cache)
         self._spawn()
 
     # -- lifecycle -----------------------------------------------------------
@@ -288,6 +310,17 @@ class WarmPool(ProcessEngine):
         with self._lock:
             return not self._closed
 
+    @property
+    def busy(self) -> bool:
+        """True while at least one query is in flight.
+
+        Eviction decisions (:class:`PoolManager`) must not close a busy
+        pool — ``close()`` blocks on the in-flight queries, so closing a
+        busy pool under a manager lock stalls every other caller.
+        """
+        with self._lock:
+            return bool(self._pending)
+
     def idle_seconds(self) -> float:
         """Seconds since the pool last had work in flight (0.0 while busy)."""
         with self._lock:
@@ -298,7 +331,7 @@ class WarmPool(ProcessEngine):
     def stats(self) -> dict:
         """A snapshot for service dashboards (``repro serve`` ``stats``)."""
         with self._lock:
-            return {
+            out = {
                 "workers": len(self._procs),
                 "max_inflight": self.max_inflight,
                 "inflight": len(self._pending),
@@ -308,6 +341,13 @@ class WarmPool(ProcessEngine):
                 "reaped": self.reaped,
                 "age_s": time.monotonic() - self.created_at,
             }
+        if self.cache_binding is not None:
+            out["cache"] = {
+                "members": list(self.cache_binding.members),
+                "signature": self.cache_binding.signature,
+                **self.cache_binding.cache.stats(),
+            }
+        return out
 
     # -- submission ----------------------------------------------------------
     def submit(
@@ -671,6 +711,17 @@ class WarmPool(ProcessEngine):
         results.put(("bye", cid))
 
 
+class _PoolBuild:
+    """Per-key cold-build latch: one builder, any number of waiters."""
+
+    __slots__ = ("done", "error", "pool")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.pool: "WarmPool | None" = None
+        self.error: "BaseException | None" = None
+
+
 class PoolManager:
     """Keyed cache of warm pools for a query service.
 
@@ -680,6 +731,22 @@ class PoolManager:
     warm pool on a hit and builds (cold) on a miss; at most ``max_pools``
     stay warm, evicting least-recently-used, and ``reap_idle`` closes pools
     idle past ``idle_timeout`` (also swept on every ``get``).
+
+    Lifecycle contracts (each one a former bug):
+
+    - ``pool.close()`` is **never** called under the manager lock — close
+      blocks on in-flight queries, so a close under the lock would stall
+      every concurrent ``get``.
+    - Eviction skips **busy** pools: the LRU *idle* pool is closed; when
+      every pool is busy, eviction defers and the manager temporarily
+      exceeds ``max_pools`` (it shrinks back on later calls) rather than
+      tearing a query out from under a caller.
+    - Cold builds (fork + filter construction) run **outside** the lock
+      behind a per-key latch: two misses on one key still build once,
+      and a cold start no longer serialises unrelated warm hits.
+    - Dead pools found during a sweep are closed defensively before
+      being dropped, so a broken pool's shared-memory ledger is released
+      even when nobody else ever touched it again.
     """
 
     def __init__(self, max_pools: int = 4, idle_timeout: "float | None" = None):
@@ -688,6 +755,7 @@ class PoolManager:
         self.max_pools = max_pools
         self.idle_timeout = idle_timeout
         self._pools: "OrderedDict[Any, WarmPool]" = OrderedDict()
+        self._building: "dict[Any, _PoolBuild]" = {}
         self._lock = threading.Lock()
 
     def get(self, key: Any, build) -> "tuple[WarmPool, bool]":
@@ -695,48 +763,136 @@ class PoolManager:
 
         ``created`` is True when this call cold-built the pool (the first
         query pays fork + filter construction; subsequent ones are warm).
+        A concurrent miss on the same key blocks on the first caller's
+        build instead of building twice; a build failure is re-raised to
+        every waiter.
         """
-        with self._lock:
-            self._reap()
-            pool = self._pools.get(key)
-            if pool is not None and pool.usable:
-                self._pools.move_to_end(key)
-                return pool, False
-            if pool is not None:
-                del self._pools[key]
-            while len(self._pools) >= self.max_pools:
-                _evicted_key, evicted = self._pools.popitem(last=False)
-                evicted.close()
-            pool = build()
-            self._pools[key] = pool
-            return pool, True
+        while True:
+            to_close: list[WarmPool] = []
+            with self._lock:
+                self._sweep_locked(to_close)
+                pool = self._pools.get(key)
+                if pool is not None and pool.usable:
+                    self._pools.move_to_end(key)
+                    self._shrink_locked(to_close, protect=key)
+                    self._close_later(to_close)
+                    return pool, False
+                if pool is not None:
+                    del self._pools[key]
+                    to_close.append(pool)
+                latch = self._building.get(key)
+                if latch is None:
+                    latch = _PoolBuild()
+                    self._building[key] = latch
+                    builder = True
+                else:
+                    builder = False
+            self._close_now(to_close)
+            if not builder:
+                latch.done.wait()
+                if latch.error is not None:
+                    raise latch.error
+                pool = latch.pool
+                if pool is not None and pool.usable:
+                    return pool, False
+                continue  # builder's pool died immediately; start over
+            return self._build_locked_out(key, latch, build), True
 
-    def _reap(self) -> None:
+    def _build_locked_out(self, key: Any, latch: _PoolBuild, build) -> WarmPool:
+        """Run one cold build outside the lock; publish through the latch."""
+        try:
+            pool = build()
+        except BaseException as exc:
+            with self._lock:
+                self._building.pop(key, None)
+            latch.error = exc
+            latch.done.set()
+            raise
+        to_close: list[WarmPool] = []
+        with self._lock:
+            self._pools[key] = pool
+            self._pools.move_to_end(key)
+            self._building.pop(key, None)
+            self._shrink_locked(to_close, protect=key)
+        latch.pool = pool
+        latch.done.set()
+        self._close_now(to_close)
+        return pool
+
+    # -- sweeping and eviction (under the lock; closes deferred) ------------
+    def _sweep_locked(self, to_close: "list[WarmPool]") -> None:
+        """Drop dead and idle-expired pools; queue them for closing.
+
+        Dead pools (``not usable``) are closed *defensively* — a broken
+        pool normally cleaned up when it broke, but close is idempotent
+        and this is the last line of defence for its shm ledger.
+        """
         for key in list(self._pools):
             pool = self._pools[key]
             if not pool.usable:
                 del self._pools[key]
+                to_close.append(pool)
             elif (
                 self.idle_timeout is not None
                 and pool.idle_seconds() >= self.idle_timeout
             ):
-                pool.close()
                 del self._pools[key]
+                to_close.append(pool)
+
+    def _shrink_locked(
+        self, to_close: "list[WarmPool]", protect: Any
+    ) -> None:
+        """Evict LRU **idle** pools down to ``max_pools``; defer on busy.
+
+        ``protect`` (the key just returned or inserted) is never a
+        victim.  Busy pools are skipped — a pool with a query in flight
+        stays out of the victim set, so capacity pressure can leave the
+        manager temporarily over budget until the traffic drains.
+        """
+        if len(self._pools) <= self.max_pools:
+            return
+        for key in list(self._pools):  # OrderedDict: LRU first
+            if len(self._pools) <= self.max_pools:
+                return
+            if key == protect:
+                continue
+            pool = self._pools[key]
+            if pool.busy:
+                continue  # deferred: never evict a pool mid-query
+            del self._pools[key]
+            to_close.append(pool)
+
+    def _close_now(self, pools: "list[WarmPool]") -> None:
+        for pool in pools:
+            pool.close()
+
+    def _close_later(self, pools: "list[WarmPool]") -> None:
+        """Close evicted pools without blocking the warm-hit fast path."""
+        if not pools:
+            return
+        threading.Thread(
+            target=self._close_now, args=(pools,), daemon=True,
+            name="poolmanager-close",
+        ).start()
 
     def reap_idle(self) -> None:
         """Close and drop pools idle past ``idle_timeout`` (and dead ones)."""
+        to_close: list[WarmPool] = []
         with self._lock:
-            self._reap()
+            self._sweep_locked(to_close)
+        self._close_now(to_close)
 
     def close_all(self) -> None:
         with self._lock:
-            for pool in self._pools.values():
-                pool.close()
+            pools = list(self._pools.values())
             self._pools.clear()
+        for pool in pools:
+            pool.close()
 
     def stats(self) -> dict:
         with self._lock:
-            return {str(key): pool.stats() for key, pool in self._pools.items()}
+            pools = list(self._pools.items())
+        return {str(key): pool.stats() for key, pool in pools}
 
     def __len__(self) -> int:
         with self._lock:

@@ -103,6 +103,14 @@ class ReadFilter(Filter):
 
     Emits one buffer per chunk, tagged with the chunk id.  Copies on the
     same host split the host's files round-robin.
+
+    A result-cache hit may inject pre-extracted triangles for this unit
+    of work via ``ctx.uow["triangles"]`` (chunk id -> ``(N, 3, 3)``
+    float32, the ``repro.cache`` triangle tier).  For every owned chunk
+    present in that mapping the copy emits the cached
+    :class:`TrianglePayload` instead of reading the chunk — storage and
+    marching cubes are both skipped; chunks missing from the mapping
+    fall back to the normal read path.
     """
 
     def __init__(
@@ -121,8 +129,20 @@ class ReadFilter(Filter):
         """End-of-work processing (see Filter.flush)."""
         timestep = _uow_get(ctx, "timestep", self.timestep)
         species = _uow_get(ctx, "species", self.species)
+        triangles = _uow_get(ctx, "triangles", None)
         for data_file, _disk in _copy_files(self.storage, ctx):
             for chunk in data_file.chunks:
+                if triangles is not None and chunk.chunk_id in triangles:
+                    tris = triangles[chunk.chunk_id]
+                    if len(tris):
+                        ctx.write(
+                            DataBuffer(
+                                len(tris) * TRIANGLE_BYTES,
+                                TrianglePayload(tris),
+                                tags={"chunk": chunk.chunk_id},
+                            )
+                        )
+                    continue
                 scalars = self.dataset.chunk_field(chunk, timestep, species)
                 ctx.write(
                     DataBuffer(
@@ -146,6 +166,13 @@ class ExtractFilter(Filter):
 
     def handle(self, ctx: FilterContext, buffer: DataBuffer) -> None:
         """Process one input buffer (see Filter.handle)."""
+        if isinstance(buffer.payload, TrianglePayload):
+            # Cache-injected triangles (see ReadFilter): already
+            # extracted, forward unchanged.
+            ctx.write(
+                DataBuffer(buffer.nbytes, buffer.payload, tags=dict(buffer.tags))
+            )
+            return
         payload: ChunkPayload = buffer.payload
         tris = extract_triangles(
             payload.scalars,

@@ -124,6 +124,32 @@ def test_bad_requests_get_error_responses(server):
     assert "unknown dataset" in bad_scene["error"]
 
 
+def test_malformed_request_fields_get_error_responses(server):
+    """Coercion failures must come back as error responses, not dropped
+    connections (bare ValueError/TypeError used to kill the handler)."""
+    cases = [
+        ({"width": "banana"}, "width"),
+        ({"width": 0}, "width"),
+        ({"height": -3}, "height"),
+        ({"height": None}, "height"),
+        ({"isovalue": "not-a-number"}, "isovalue"),
+        ({"isovalue": float("inf")}, "isovalue"),
+        ({"timestep": "two"}, "timestep"),
+        ({"merge_copies": "lots"}, "merge_copies"),
+        ({"merge_copies": -1}, "merge_copies"),
+        ({"view": "sideways"}, "view"),
+        ({"view": {"azimuth": "east"}}, "view.azimuth"),
+    ]
+    for fields, needle in cases:
+        response = _request(server, {"cmd": "query", **fields})
+        assert response["ok"] is False, fields
+        assert needle in response["error"], (fields, response["error"])
+    # The connection-level service still works after every rejection.
+    assert _request(server, {"cmd": "ping"})["pong"] is True
+    good = _request(server, {"cmd": "query"})
+    assert good["ok"] is True
+
+
 def test_stats_counts_queries(server):
     stats = _request(server, {"cmd": "stats"})["stats"]
     assert stats["scenes"] == ["unit"]

@@ -1,0 +1,208 @@
+"""End-to-end tests for the serve-path result cache.
+
+Correctness bar: a cached response must be byte-identical (same PPM
+payload) to what an uncached service renders for the same query — across
+engines' merge fan-outs, under eviction pressure, and for every tier.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import QueryService, SceneSpec
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the query service pools need the fork start method",
+)
+
+SCENE = SceneSpec(
+    "unit", grid=11, timesteps=2, species=2, nchunks=8, nfiles=4, seed=7,
+    isovalue=0.35,
+)
+
+
+def _service(**kw):
+    defaults = dict(
+        scenes=[SCENE], config="R-E-Ra-M", width=32, height=32, copies=2
+    )
+    defaults.update(kw)
+    return QueryService(**defaults)
+
+
+@pytest.fixture(scope="module")
+def uncached_frames():
+    """Reference frames from a cache-free service, one per query shape."""
+    queries = {
+        "base": {"isovalue": 0.4, "timestep": 1},
+        "view": {"isovalue": 0.4, "timestep": 1,
+                 "view": {"azimuth": 60, "elevation": 10}},
+        "iso2": {"isovalue": 0.3, "timestep": 0},
+        "tiled": {"isovalue": 0.4, "timestep": 1, "merge_copies": 2},
+    }
+    service = _service()
+    try:
+        return {
+            name: service.render(dict(query))["frame_b64"]
+            for name, query in queries.items()
+        }
+    finally:
+        service.close()
+
+
+def test_cached_responses_are_bit_exact(uncached_frames):
+    service = _service(cache_mb=32)
+    try:
+        first = service.render({"isovalue": 0.4, "timestep": 1})
+        second = service.render({"isovalue": 0.4, "timestep": 1})
+        assert first["frame_b64"] == uncached_frames["base"]
+        assert second["frame_b64"] == uncached_frames["base"]
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["cache"]["triangles"] == "hit"
+        assert second["cache"]["tiles"] == "hit"
+        assert second["cache"]["bytes_saved"] > 0
+        assert second["makespan_s"] == 0.0  # no pipeline run
+        assert second["active_pixels"] == first["active_pixels"]
+    finally:
+        service.close()
+
+
+def test_cached_view_queries_do_not_collide(uncached_frames):
+    service = _service(cache_mb=32)
+    try:
+        base = service.render({"isovalue": 0.4, "timestep": 1})
+        view = service.render(
+            {"isovalue": 0.4, "timestep": 1,
+             "view": {"azimuth": 60, "elevation": 10}}
+        )
+        # Same triangles (tier hit), different camera: its own tile entry.
+        assert view["cache"]["triangles"] == "hit"
+        assert view["cached"] is False
+        assert view["frame_b64"] == uncached_frames["view"]
+        again = service.render(
+            {"isovalue": 0.4, "timestep": 1,
+             "view": {"azimuth": 60, "elevation": 10}}
+        )
+        assert again["cached"] is True
+        assert again["frame_b64"] == uncached_frames["view"]
+        assert base["frame_b64"] == uncached_frames["base"]
+    finally:
+        service.close()
+
+
+def test_tiered_merge_cached_frames_match_single_merge(uncached_frames):
+    service = _service(cache_mb=32, merge_copies=2)
+    try:
+        first = service.render(
+            {"isovalue": 0.4, "timestep": 1, "merge_copies": 2}
+        )
+        second = service.render(
+            {"isovalue": 0.4, "timestep": 1, "merge_copies": 2}
+        )
+        assert second["cached"] is True
+        assert first["frame_b64"] == uncached_frames["tiled"]
+        assert second["frame_b64"] == uncached_frames["tiled"]
+        # The tiled pipeline renders the same image as the single merge.
+        assert second["frame_b64"] == uncached_frames["base"]
+    finally:
+        service.close()
+
+
+def test_eviction_pressure_keeps_responses_bit_exact(uncached_frames):
+    # A cache too small for every entry: eviction churns constantly, but
+    # every response — hit, miss, or recomputed after eviction — must stay
+    # identical to the uncached render.
+    service = _service(cache_mb=0.01)
+    try:
+        sequence = ["base", "iso2", "base", "view", "iso2", "base"]
+        queries = {
+            "base": {"isovalue": 0.4, "timestep": 1},
+            "view": {"isovalue": 0.4, "timestep": 1,
+                     "view": {"azimuth": 60, "elevation": 10}},
+            "iso2": {"isovalue": 0.3, "timestep": 0},
+        }
+        for name in sequence:
+            response = service.render(dict(queries[name]))
+            assert response["frame_b64"] == uncached_frames[name], name
+        stats = service.cache_stats()["shared"]
+        assert stats["evictions"] + stats["rejected"] > 0
+        assert stats["size_bytes"] <= stats["capacity_bytes"]
+    finally:
+        service.close()
+
+
+def test_negative_tier_caches_failed_lookups():
+    service = _service(cache_mb=8)
+    try:
+        for _ in range(2):
+            with pytest.raises(ConfigurationError, match="unknown dataset"):
+                service.render({"dataset": "missing"})
+        for _ in range(2):
+            with pytest.raises(ConfigurationError, match="out of range"):
+                service.render({"timestep": 99})
+        negative = service.cache_stats()["shared"]["by_tier"]["negative"]
+        assert negative["hits"] == 2
+        assert negative["misses"] == 2
+    finally:
+        service.close()
+
+
+def test_fused_config_refuses_cache_but_still_serves(uncached_frames):
+    service = _service(cache_mb=8, config="RE-Ra-M")
+    try:
+        first = service.render({"isovalue": 0.4, "timestep": 1})
+        second = service.render({"isovalue": 0.4, "timestep": 1})
+        assert first["cache"]["mode"] == "refused"
+        assert "E703" in first["cache"]["error"]
+        assert "E706" in first["cache"]["error"]
+        assert second["cached"] is False  # nothing memoised
+        assert second["warm"] is True  # ...but the pool still serves warm
+        assert first["frame_b64"] == uncached_frames["base"]
+        assert second["frame_b64"] == uncached_frames["base"]
+        assert service.cache_stats()["refusals"]["RE-Ra-M"]
+    finally:
+        service.close()
+
+
+def test_pool_scope_gives_each_pool_its_own_cache(uncached_frames):
+    service = _service(cache_mb=8, cache_scope="pool")
+    try:
+        service.render({"isovalue": 0.4, "timestep": 1})
+        second = service.render({"isovalue": 0.4, "timestep": 1})
+        assert second["cached"] is True
+        assert second["frame_b64"] == uncached_frames["base"]
+        stats = service.stats()
+        assert stats["cache"]["scope"] == "pool"
+        (pool_stats,) = stats["pools"].values()
+        assert pool_stats["cache"]["hits"] >= 2  # triangles + tiles
+    finally:
+        service.close()
+
+
+def test_trace_records_cache_events():
+    service = _service(cache_mb=8)
+    try:
+        service.render({"isovalue": 0.4, "timestep": 1})
+        traced = service.render(
+            {"isovalue": 0.4, "timestep": 1, "trace": True}
+        )
+        assert traced["cached"] is True
+        assert traced["trace"]["events"] >= 2  # cache_hit per tier
+    finally:
+        service.close()
+
+
+def test_warm_pool_stats_surface_cache_binding():
+    service = _service(cache_mb=8)
+    try:
+        service.render({"isovalue": 0.4, "timestep": 1})
+        stats = service.stats()
+        (pool_stats,) = stats["pools"].values()
+        assert pool_stats["cache"]["members"] == ["E"]
+        assert pool_stats["cache"]["signature"]
+        shared = stats["cache"]["shared"]
+        assert shared["entries"] >= 2  # triangles + one tile
+    finally:
+        service.close()
